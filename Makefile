@@ -1,0 +1,21 @@
+.PHONY: install test bench experiments experiments-fast clean
+
+install:
+	pip install -e '.[test]'
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments.runner all
+
+experiments-fast:
+	python -m repro.experiments.runner all --fast
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis \
+	    benchmarks/reports .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,30 @@
+"""Benchmark-suite helpers.
+
+Every experiment benchmark regenerates its table/figure (at a scaled-down
+setting chosen to finish in seconds) and writes the full rendered report
+to ``benchmarks/reports/<name>.txt`` so the regenerated rows survive the
+pytest output capture; headline numbers also go into the
+pytest-benchmark ``extra_info`` column.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture
+def save_report(report_dir):
+    def _save(name: str, text: str) -> None:
+        (report_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _save

@@ -1,0 +1,31 @@
+"""Figure 10 benchmark: 600-phase execution time for all four remapping
+techniques, 0-5 fixed slow nodes."""
+
+from repro.experiments import fig10_schemes
+
+
+def test_bench_fig10_schemes(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: fig10_schemes.run(phases=600), rounds=1, iterations=1
+    )
+    save_report("fig10", str(report))
+
+    series = report.data["series"]
+    benchmark.extra_info["filtered_vs_noremap_pct"] = round(
+        100 * report.data["filtered_vs_noremap"], 1
+    )
+    benchmark.extra_info["filtered_vs_conservative_pct"] = round(
+        100 * report.data["filtered_vs_conservative"], 1
+    )
+    benchmark.extra_info["paper"] = "up to 57.8% vs no-remap, 39% vs conservative"
+
+    # Filtered best at every slow-node count; global falls behind past 2.
+    for k in range(1, 6):
+        assert series["filtered"][k] <= min(
+            series["no-remap"][k],
+            series["conservative"][k],
+            series["global"][k],
+        ) * 1.001
+    assert series["global"][1] < series["no-remap"][1]
+    assert series["global"][4] > series["conservative"][4]
+    assert report.data["filtered_vs_noremap"] > 0.4

@@ -1,0 +1,22 @@
+"""Figure 3 benchmark: execution time / overhead vs. disturbance level."""
+
+from repro.experiments import fig3_disturbance
+
+
+def test_bench_fig3_disturbance(benchmark, save_report):
+    def run():
+        return fig3_disturbance.run(
+            phases=600,
+            duties=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("fig3", str(report))
+
+    over = report.data["overheads"]
+    benchmark.extra_info["overhead_at_100pct"] = round(float(over[-1]), 1)
+    benchmark.extra_info["overhead_at_60pct"] = round(float(over[3]), 1)
+    benchmark.extra_info["paper_overhead_at_100pct"] = "~186"
+    # Shape assertions: monotone, convex knee.
+    assert (over[1:] >= over[:-1]).all()
+    assert 150 < over[-1] < 220

@@ -1,0 +1,40 @@
+"""Figure 8 benchmark: speedup / normalized efficiency vs. slow nodes.
+
+The paper uses 20 000 phases; the benchmark runs 2 000 (the schemes reach
+their steady partitions within a few hundred phases, so ratios match the
+long run) plus the dedicated-speedup sweep of Section 4.2.
+"""
+
+from repro.experiments import fig8_speedup
+
+
+def test_bench_fig8_speedup(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: fig8_speedup.run(phases=2000), rounds=1, iterations=1
+    )
+    save_report("fig8", str(report))
+
+    s = report.data["speedup_remap"]
+    benchmark.extra_info["speedup_dedicated"] = round(s[0], 2)
+    benchmark.extra_info["speedup_1slow"] = round(s[1], 2)
+    benchmark.extra_info["speedup_5slow"] = round(s[5], 2)
+    benchmark.extra_info["paper"] = "18.97 dedicated / ~16 @1 / ~13 @5"
+    assert s[0] > 18.0
+    assert s[1] > 13.5
+    assert s[5] > 11.0
+    assert min(report.data["efficiency_remap"]) > 0.7
+
+
+def test_bench_fig8_dedicated_sweep(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: fig8_speedup.dedicated_speedup_sweep(phases=600),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig8_dedicated", str(report))
+    nodes = report.data["nodes"]
+    speedups = report.data["speedups"]
+    benchmark.extra_info["speedup_at_20"] = round(speedups[-1], 2)
+    benchmark.extra_info["paper_speedup_at_20"] = 18.97
+    for n, s in zip(nodes, speedups):
+        assert s > 0.9 * n  # near-linear

@@ -1,0 +1,27 @@
+"""Figure 9 benchmark: execution profile for the four schemes, 600
+phases, one slow node — the paper's central per-scheme comparison
+(251 / 717 / ~513 / 313 seconds)."""
+
+from repro.experiments import fig9_profile
+
+
+def test_bench_fig9_profiles(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: fig9_profile.run(phases=600), rounds=1, iterations=1
+    )
+    save_report("fig9", str(report))
+
+    totals = report.data["totals"]
+    for scheme, paper in fig9_profile.PAPER_TOTALS.items():
+        benchmark.extra_info[f"{scheme}_s"] = round(totals[scheme], 1)
+        benchmark.extra_info[f"{scheme}_paper_s"] = paper
+
+    # Paper orderings and ratios.
+    assert (
+        totals["dedicated"]
+        < totals["filtered"]
+        < totals["conservative"]
+        < totals["no-remap"]
+    )
+    assert 2.5 < totals["no-remap"] / totals["dedicated"] < 3.2
+    assert 1.1 < totals["filtered"] / totals["dedicated"] < 1.45

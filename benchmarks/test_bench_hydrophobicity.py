@@ -1,0 +1,73 @@
+"""Scientific ablation: the paper's explicit exponential wall force vs.
+the standard Shan-Chen wall-adhesion mechanism.
+
+Both deplete water at the wall; the paper's force acts over a tunable
+decay length (12.5 nm) while S-C adhesion acts on the single wall-
+adjacent layer.  The benchmark measures wall depletion and apparent slip
+for each mechanism on the same 2-D channel.
+"""
+
+import numpy as np
+
+from repro.lbm.adhesion import contact_density_ratio
+from repro.lbm.components import ComponentSpec
+from repro.lbm.diagnostics import apparent_slip_fraction, velocity_profile
+from repro.lbm.forces import WallForceSpec
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import D2Q9
+from repro.lbm.solver import LBMConfig, MulticomponentLBM
+
+
+def run_channel(*, wall_force=None, adhesion=None, steps=6000):
+    geo = ChannelGeometry(shape=(16, 42), wall_axes=(1,))
+    comps = (
+        ComponentSpec("water", rho_init=1.0),
+        ComponentSpec("air", rho_init=0.03),
+    )
+    cfg = LBMConfig(
+        geometry=geo,
+        components=comps,
+        g_matrix=np.array([[0.0, 0.9], [0.9, 0.0]]),
+        lattice=D2Q9,
+        wall_force=wall_force,
+        adhesion=adhesion,
+        body_acceleration=(2e-7, 0.0),
+    )
+    solver = MulticomponentLBM(cfg)
+    solver.run(steps, check_interval=steps // 4)
+    return solver, geo
+
+
+def test_bench_hydrophobicity_mechanisms(benchmark, save_report):
+    def run():
+        out = {}
+        for label, kwargs in (
+            ("none", {}),
+            ("paper exponential force", {
+                "wall_force": WallForceSpec(amplitude=0.1, decay_length=2.5)
+            }),
+            ("shan-chen adhesion", {"adhesion": (0.35, 0.0)}),
+        ):
+            solver, geo = run_channel(**kwargs)
+            depletion = contact_density_ratio(solver.rho[0], geo)
+            slip = apparent_slip_fraction(velocity_profile(solver))
+            out[label] = (depletion, slip)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"{label:>24}: water wall/center = {d:.3f}, apparent slip = {100 * s:.2f}%"
+        for label, (d, s) in out.items()
+    ]
+    save_report("hydrophobicity_mechanisms", "\n".join(lines))
+    for label, (d, s) in out.items():
+        benchmark.extra_info[label] = (round(d, 3), round(100 * s, 2))
+
+    base_dep, base_slip = out["none"]
+    for label in ("paper exponential force", "shan-chen adhesion"):
+        dep, slip = out[label]
+        assert dep < base_dep  # both deplete the wall layer
+        assert slip > base_slip  # and both produce extra slip
+    # The paper's finite-decay-length force reaches deeper and slips more
+    # at comparable couplings.
+    assert out["paper exponential force"][1] >= out["shan-chen adhesion"][1]

@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the LBM hot-loop kernels (collision, streaming,
+S-C force, full phase) — the per-point costs that the cluster model's
+``cost_per_point`` abstracts."""
+
+import numpy as np
+import pytest
+
+from repro.lbm.components import ComponentSpec
+from repro.lbm.equilibrium import equilibrium
+from repro.lbm.forces import WallForceSpec
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import D3Q19
+from repro.lbm.shan_chen import interaction_force
+from repro.lbm.solver import LBMConfig, MulticomponentLBM
+from repro.lbm.streaming import stream
+
+SHAPE_3D = (32, 48, 12)
+
+
+@pytest.fixture(scope="module")
+def solver_3d():
+    geo = ChannelGeometry(shape=SHAPE_3D)
+    comps = (
+        ComponentSpec("water", tau=1.0, rho_init=1.0),
+        ComponentSpec("air", tau=1.0, rho_init=0.03),
+    )
+    cfg = LBMConfig(
+        geometry=geo,
+        components=comps,
+        g_matrix=np.array([[0.0, 0.9], [0.9, 0.0]]),
+        wall_force=WallForceSpec(amplitude=0.1),
+        body_acceleration=(2e-7, 0.0, 0.0),
+    )
+    solver = MulticomponentLBM(cfg)
+    solver.run(5)  # warm state
+    return solver
+
+
+def test_bench_equilibrium_kernel(benchmark):
+    rng = np.random.default_rng(0)
+    rho = rng.uniform(0.5, 1.5, SHAPE_3D)
+    u = rng.uniform(-0.05, 0.05, (3, *SHAPE_3D))
+    out = np.empty((19, *SHAPE_3D))
+    benchmark(lambda: equilibrium(rho, u, D3Q19, out=out))
+    points = int(np.prod(SHAPE_3D))
+    benchmark.extra_info["ns_per_point"] = round(
+        benchmark.stats["mean"] / points * 1e9, 1
+    )
+
+
+def test_bench_streaming_kernel(benchmark):
+    rng = np.random.default_rng(1)
+    f = rng.random((19, *SHAPE_3D))
+    benchmark(lambda: stream(f, D3Q19))
+
+
+def test_bench_shan_chen_force(benchmark):
+    rng = np.random.default_rng(2)
+    psis = rng.uniform(0.0, 1.0, (2, *SHAPE_3D))
+    g = np.array([[0.0, 0.9], [0.9, 0.0]])
+    benchmark(lambda: interaction_force(psis, g, D3Q19))
+
+
+def test_bench_full_phase(benchmark, solver_3d):
+    benchmark(solver_3d.step)
+    points = int(np.prod(SHAPE_3D))
+    us_per_point = benchmark.stats["mean"] / points * 1e6
+    benchmark.extra_info["us_per_point"] = round(us_per_point, 3)
+    benchmark.extra_info["paper_us_per_point_on_2003_xeon"] = 4.9

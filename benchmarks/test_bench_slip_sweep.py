@@ -1,0 +1,20 @@
+"""Benchmark for the slip-parameter sweep extension (reduced grid: three
+amplitudes at the paper's decay length)."""
+
+from repro.experiments import ext_slip_sweep
+
+
+def test_bench_slip_vs_amplitude(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: ext_slip_sweep.run(fast=True), rounds=1, iterations=1
+    )
+    save_report("ext_slip_sweep", str(report))
+
+    sweep = report.data["amplitude_sweep"]
+    for point in sweep:
+        benchmark.extra_info[f"amp_{point['amplitude']}"] = round(
+            100 * point["slip"], 2
+        )
+    slips = [p["slip"] for p in sweep]
+    assert all(b > a for a, b in zip(slips, slips[1:]))
+    assert slips[-1] > 0.08  # the paper's ~10% regime at amplitude 0.2

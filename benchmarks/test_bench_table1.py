@@ -1,0 +1,28 @@
+"""Table 1 benchmark: slowdown ratios under transient load spikes."""
+
+from repro.experiments import table1_spikes
+
+
+def test_bench_table1_transient_spikes(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: table1_spikes.run(phases=100, seeds=(42, 43, 44)),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("table1", str(report))
+
+    table = report.data["table"]
+    for length in (1.0, 4.0):
+        for scheme in ("no-remap", "global", "filtered"):
+            benchmark.extra_info[f"{scheme}_{int(length)}s_pct"] = round(
+                table[length][scheme], 1
+            )
+    benchmark.extra_info["paper_4s"] = "35.6 / 49.5 / 38.1 / 39.8 %"
+
+    # The paper's qualitative claims.
+    for scheme in ("no-remap", "filtered", "conservative", "global"):
+        assert table[4.0][scheme] > table[1.0][scheme]
+    for length in table:
+        base = table[length]["no-remap"]
+        assert abs(table[length]["filtered"] - base) < 12.0
+    assert table[3.0]["global"] > table[3.0]["no-remap"] + 5.0

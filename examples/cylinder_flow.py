@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Flow past a cylindrical post in a microchannel.
+
+The paper's introduction motivates micro-device flows; this example puts
+an interior obstacle (a post spanning the channel) into the LBM channel,
+measures the drag by momentum exchange, and sketches the wake.
+
+    python examples/cylinder_flow.py [--radius 4] [--steps 4000]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.lbm import ComponentSpec, LBMConfig, MulticomponentLBM
+from repro.lbm.lattice import D2Q9
+from repro.lbm.obstacles import MaskedGeometry, cylinder_mask
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--radius", type=float, default=4.0)
+    parser.add_argument("--steps", type=int, default=4000)
+    args = parser.parse_args()
+
+    shape = (80, 34)
+    center = (20.0, 16.5)
+    geo = MaskedGeometry(
+        shape, cylinder_mask(shape, center, args.radius), wall_axes=(1,)
+    )
+    cfg = LBMConfig(
+        geometry=geo,
+        components=(ComponentSpec("fluid", tau=0.6),),
+        g_matrix=np.zeros((1, 1)),
+        lattice=D2Q9,
+        body_acceleration=(2e-6, 0.0),
+    )
+    solver = MulticomponentLBM(cfg)
+    solver.track_wall_momentum = True
+    solver.run(args.steps, check_interval=args.steps // 4)
+
+    u = solver.velocity()
+    speed = np.sqrt(u[0] ** 2 + u[1] ** 2)
+    u_free = float(u[0][60, 17])
+    drag = solver.last_wall_momentum
+    input_force = 2e-6 * solver.rho[0][solver.fluid].sum()
+    print(f"free-stream velocity: {u_free:.5f} (lattice units)")
+    print(f"drag on solid (momentum exchange): Fx={drag[0]:.6f}  Fy={drag[1]:.2e}")
+    print(f"body-force input per step:         {input_force:.6f}")
+    print(f"steady-state balance: {100 * drag[0] / input_force:.1f}% absorbed by walls+post")
+
+    print("\nspeed map (darker = slower; 'O' = post):")
+    chars = " .:-=+*#"
+    smax = speed[solver.fluid].max()
+    for j in range(shape[1] - 1, -1, -2):
+        row = []
+        for i in range(0, shape[0], 2):
+            if geo.obstacle_mask[i, j]:
+                row.append("O")
+            elif solver.solid[i, j]:
+                row.append("|")
+            else:
+                row.append(chars[min(int(speed[i, j] / smax * len(chars)), len(chars) - 1)])
+        print("  " + "".join(row))
+
+
+if __name__ == "__main__":
+    main()

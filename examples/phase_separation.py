@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Single-component liquid-vapour phase separation (Shan-Chen).
+
+The same kernels that power the paper's water/air channel also simulate a
+non-ideal single-component fluid: below the critical coupling (g < -4 for
+psi = 1 - exp(-rho)) a uniform fluid spontaneously separates into liquid
+and vapour domains.  This example runs spinodal decomposition on a
+periodic box and prints the coexistence densities against the standard
+benchmark values.
+
+    python examples/phase_separation.py [--g -5.0] [--steps 2000]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.lbm.multiphase import (
+    CRITICAL_G,
+    equation_of_state,
+    measure_coexistence,
+    phase_separation_config,
+    run_phase_separation,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--g", type=float, default=-5.0)
+    parser.add_argument("--steps", type=int, default=2000)
+    parser.add_argument("--size", type=int, default=64)
+    args = parser.parse_args()
+
+    print(f"coupling g = {args.g} (critical: {CRITICAL_G})")
+    cfg = phase_separation_config((args.size, args.size), g=args.g)
+    solver = run_phase_separation(cfg, steps=args.steps)
+
+    vapour, liquid = measure_coexistence(solver)
+    print(f"\nafter {args.steps} steps on a {args.size}^2 periodic box:")
+    print(f"  vapour density: {vapour:.3f}")
+    print(f"  liquid density: {liquid:.3f}")
+    print(f"  density ratio:  {liquid / vapour:.1f}")
+    print(f"  bulk pressures: p_v = {equation_of_state(vapour, args.g):.4f}, "
+          f"p_l = {equation_of_state(liquid, args.g):.4f}")
+    if args.g == -5.0:
+        print("  (benchmark for g = -5: rho_v ~ 0.16, rho_l ~ 1.95)")
+
+    # Crude ASCII rendering of the domain structure.
+    rho = solver.rho[0]
+    mid = 0.5 * (vapour + liquid)
+    step = max(1, args.size // 48)
+    print("\ndomain structure (# = liquid):")
+    for row in rho[::step, ::step].T[::-1]:
+        print("  " + "".join("#" if v > mid else "." for v in row))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Pressure-driven channel flow with Zou-He open boundaries.
+
+The paper drives its microchannel with a pressure gradient; most of this
+repository uses the periodic-box + body-force surrogate.  This example
+shows the genuine open-boundary alternative: fixed inlet/outlet densities
+produce a Poiseuille profile matching the analytic solution.
+
+    python examples/pressure_driven_channel.py
+"""
+
+import numpy as np
+
+from repro.lbm import ChannelGeometry, ComponentSpec, LBMConfig, MulticomponentLBM
+from repro.lbm.diagnostics import velocity_profile
+from repro.lbm.lattice import D2Q9
+from repro.lbm.open_boundary import (
+    PressureBoundary2D,
+    pressure_drop_for_poiseuille,
+)
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    nx, ny = 48, 26
+    geo = ChannelGeometry(shape=(nx, ny), wall_axes=(1,))
+    comp = ComponentSpec("water", tau=1.0, rho_init=1.0)
+    cfg = LBMConfig(
+        geometry=geo,
+        components=(comp,),
+        g_matrix=np.zeros((1, 1)),
+        lattice=D2Q9,
+    )
+    solver = MulticomponentLBM(cfg)
+
+    width = geo.channel_width(1)
+    target_umax = 0.02
+    drho = pressure_drop_for_poiseuille(target_umax, width, nx, comp.viscosity)
+    solver.post_stream_hooks.append(
+        PressureBoundary2D(rho_in=1.0 + drho / 2, rho_out=1.0 - drho / 2)
+    )
+    print(f"driving density difference: {drho:.5f} (target u_max {target_umax})")
+    solver.run(5000, check_interval=1000)
+
+    prof = velocity_profile(solver, x_index=nx // 2)
+    analytic = 4 * target_umax * prof.positions * (width - prof.positions) / width**2
+    rows = [
+        (float(d), float(u), float(a))
+        for d, u, a in zip(prof.positions[::3], prof.values[::3], analytic[::3])
+    ]
+    print(
+        format_table(
+            ["y", "u (simulated)", "u (analytic)"],
+            rows,
+            title="Mid-channel profile after 5000 steps",
+            float_fmt="{:.5f}",
+        )
+    )
+    err = np.abs(prof.values - analytic).max() / analytic.max()
+    print(f"\nmax relative error vs analytic: {err:.4f}")
+
+
+if __name__ == "__main__":
+    main()

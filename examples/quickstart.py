@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate apparent fluid slip in a 2-D hydrophobic channel.
+
+Runs the two-component (water/air) lattice Boltzmann model twice — once
+with the paper's hydrophobic wall forces, once without — and prints the
+density depletion at the wall and the apparent slip, the phenomena of the
+paper's Figures 6 and 7.  Takes ~20 seconds on one core.
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.lbm import (
+    ChannelGeometry,
+    ComponentSpec,
+    LBMConfig,
+    MulticomponentLBM,
+    WallForceSpec,
+    apparent_slip_fraction,
+    density_profile,
+    velocity_profile,
+)
+from repro.lbm.lattice import D2Q9
+
+
+def build_config(with_wall_force: bool) -> LBMConfig:
+    geometry = ChannelGeometry(shape=(16, 42), wall_axes=(1,))
+    components = (
+        ComponentSpec("water", tau=1.0, rho_init=1.0),
+        ComponentSpec("air", tau=1.0, rho_init=0.03),
+    )
+    coupling = np.array([[0.0, 0.9], [0.9, 0.0]])  # water/air repulsion
+    wall = WallForceSpec(amplitude=0.1, decay_length=2.5) if with_wall_force else None
+    return LBMConfig(
+        geometry=geometry,
+        components=components,
+        g_matrix=coupling,
+        lattice=D2Q9,
+        wall_force=wall,
+        body_acceleration=(2e-7, 0.0),  # pressure-gradient surrogate
+    )
+
+
+def main() -> None:
+    results = {}
+    for label, forced in (("hydrophobic walls", True), ("plain walls", False)):
+        solver = MulticomponentLBM(build_config(forced))
+        solver.run(6000, check_interval=1000)
+        water = density_profile(solver, "water")
+        slip = apparent_slip_fraction(velocity_profile(solver))
+        results[label] = (water, slip)
+        print(f"{label}:")
+        print(f"  water density at wall:  {water.values[0]:.3f}")
+        print(f"  water density mid-channel: {np.median(water.values):.3f}")
+        print(f"  apparent slip: {100 * slip:.1f}% of the free-stream velocity")
+        print()
+
+    gain = results["hydrophobic walls"][1] - results["plain walls"][1]
+    print(
+        f"slip attributable to the hydrophobic wall force: "
+        f"{100 * gain:.1f} percentage points (the paper reports ~10%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The paper's experiment end-to-end: a 3-D hydrophobic microchannel.
+
+Reproduces the Figure 5 geometry at a scaled resolution (the full
+400 x 200 x 20 grid is available via ``--paper-scale`` but takes hours):
+flow along x, side walls in y, top/bottom walls in z, hydrophobic force
+decaying over 12.5 nm.  Prints the Figure 6 density strip and the
+Figure 7 slip readings, plus physical units via the paper's 5 nm grid
+scaling.
+
+    python examples/slip_microchannel_3d.py [--fast] [--paper-scale]
+"""
+
+import argparse
+
+from repro.experiments.slip_sim import SlipScenario, run_slip_pair
+from repro.lbm.diagnostics import (
+    density_profile,
+    slip_fraction,
+    velocity_profile,
+)
+from repro.lbm.units import PAPER_UNITS
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="2-D scenario (seconds)")
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="full 400x200x20 grid (hours on one core)",
+    )
+    args = parser.parse_args()
+
+    scenario = None
+    if args.paper_scale:
+        scenario = SlipScenario.paper_scale()
+    forced, control = run_slip_pair(scenario, fast=args.fast)
+
+    # --- Figure 6: densities near the side wall ---------------------------
+    water = density_profile(forced, "water").near_wall(8.0)
+    air = density_profile(forced, "air").near_wall(8.0)
+    rows = [
+        (
+            PAPER_UNITS.length(d) * 1e9,  # nm, using the paper's 5 nm spacing
+            PAPER_UNITS.density_gcc(w),
+            PAPER_UNITS.density_gcc(a) * 1e4,
+        )
+        for d, w, a in zip(water.positions, water.values, air.values)
+    ]
+    print(
+        format_table(
+            ["dist (nm)", "water (g/cm^3)", "air (1e-4 g/cm^3)"],
+            rows,
+            title="Densities near the hydrophobic side wall (cf. paper Fig. 6)",
+            float_fmt="{:.3f}",
+        )
+    )
+
+    # --- Figure 7: apparent slip ------------------------------------------
+    slip_f = slip_fraction(velocity_profile(forced))
+    slip_c = slip_fraction(velocity_profile(control))
+    print()
+    print(f"wall slip with hydrophobic forces:  {100 * slip_f:.2f}% of u0")
+    print(f"wall slip without forces:           {100 * slip_c:.2f}% of u0")
+    print(f"hydrophobic slip gain:              {100 * (slip_f - slip_c):.2f} pp")
+    print("(the paper reports ~10% slip at its 5 nm resolution)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Table 1 scenario: tolerance of transient load spikes.
+
+Every 10 seconds a random node runs a background job for a few seconds.
+The lazy local schemes (filtered / conservative) should track the
+no-remapping baseline — there is nothing to gain from re-balancing when
+every node is equally likely to spike — while the global scheme pays for
+its synchronization.
+
+    python examples/transient_spikes.py [--spike-seconds 3] [--phases 100]
+"""
+
+import argparse
+
+from repro.cluster import dedicated_traces, transient_spike_traces
+from repro.cluster.machine import paper_cluster
+from repro.cluster.simulator import simulate
+from repro.core import make_policy
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--spike-seconds", type=float, default=3.0)
+    parser.add_argument("--phases", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    dedicated = simulate(
+        paper_cluster(dedicated_traces(20)), make_policy("no-remap"), args.phases
+    ).total_time
+
+    rows = []
+    for name in ("no-remap", "filtered", "conservative", "global"):
+        spec = paper_cluster(
+            transient_spike_traces(20, args.spike_seconds, seed=args.seed)
+        )
+        result = simulate(spec, make_policy(name), args.phases)
+        slowdown = 100 * (result.total_time - dedicated) / dedicated
+        rows.append((name, result.total_time, slowdown, result.planes_moved))
+
+    print(
+        format_table(
+            ["scheme", "total (s)", "slowdown vs dedicated (%)", "planes moved"],
+            rows,
+            title=(
+                f"{args.phases} phases, {args.spike_seconds:.0f}s spike on a "
+                f"random node every 10s (dedicated = {dedicated:.1f}s)"
+            ),
+            float_fmt="{:.1f}",
+        )
+    )
+    print(
+        "\nNote how the lazy harmonic-mean prediction keeps the local "
+        "schemes from migrating on transients, while the global scheme "
+        "both migrates and synchronizes globally."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""``python -m repro.cluster`` — the scenario CLI."""
+
+from repro.cluster.scenario import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""Cluster specification: nodes + traces + cost model + problem size."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.costmodel import PAPER_COST_MODEL, PhaseCostModel
+from repro.cluster.trace import AvailabilityTrace
+from repro.cluster.workload import dedicated_traces
+from repro.util.validation import check_integer
+
+
+@dataclass
+class ClusterSpec:
+    """A virtual cluster running the slice-decomposed LBM.
+
+    Attributes
+    ----------
+    n_nodes:
+        Linear-array size (the paper uses 20 of its 32 nodes).
+    total_planes:
+        x-extent of the grid (400 for the paper's run).
+    plane_points:
+        Points per yz-plane (200 * 20 = 4000).
+    traces:
+        Per-node availability traces; defaults to a dedicated cluster.
+    cost_model:
+        Timing constants; defaults to the paper-calibrated model.
+    """
+
+    n_nodes: int = 20
+    total_planes: int = 400
+    plane_points: int = 4000
+    traces: list[AvailabilityTrace] = field(default_factory=list)
+    cost_model: PhaseCostModel = field(default_factory=lambda: PAPER_COST_MODEL)
+
+    def __post_init__(self) -> None:
+        check_integer(self.n_nodes, "n_nodes", minimum=1)
+        check_integer(self.total_planes, "total_planes", minimum=self.n_nodes)
+        check_integer(self.plane_points, "plane_points", minimum=1)
+        if not self.traces:
+            self.traces = dedicated_traces(self.n_nodes)
+        if len(self.traces) != self.n_nodes:
+            raise ValueError(
+                f"need {self.n_nodes} traces, got {len(self.traces)}"
+            )
+
+    @property
+    def total_points(self) -> int:
+        return self.total_planes * self.plane_points
+
+    @property
+    def average_points(self) -> float:
+        """Average points per node — the reference for load ratios."""
+        return self.total_points / self.n_nodes
+
+
+def paper_cluster(
+    traces: list[AvailabilityTrace] | None = None,
+    *,
+    n_nodes: int = 20,
+    cost_model: PhaseCostModel | None = None,
+) -> ClusterSpec:
+    """The paper's configuration: 20 nodes, 400 x 200 x 20 grid."""
+    return ClusterSpec(
+        n_nodes=n_nodes,
+        total_planes=400,
+        plane_points=4000,
+        traces=traces or [],
+        cost_model=cost_model or PAPER_COST_MODEL,
+    )

@@ -1,0 +1,260 @@
+"""The neighbour-synchronized phase engine.
+
+Each virtual phase mirrors the parallel LBM's structure (Figure 2):
+
+1. compute chunk A (collision + streaming),
+2. neighbour exchange of distribution functions,
+3. compute chunk B (bounce-back + yz boundary),
+4. neighbour exchange of number densities,
+5. compute chunk C (force + velocity),
+6. every REMAPPING_INTERVAL phases: load-index exchange, policy decision,
+   and plane migration.
+
+There is **no global barrier**: node i's phase p only waits for nodes
+i-1 and i+1, so the paper's "ripple effect" — a slow node dragging ever
+more distant nodes over 10-20 phases — emerges from the recurrence rather
+than being assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.machine import ClusterSpec
+from repro.cluster.metrics import sequential_time, speedup
+from repro.cluster.profile import NodeProfile
+from repro.cluster.trace import TraceCursor
+from repro.core.policies import NoRemappingPolicy, RemappingPolicy
+from repro.core.partition import SlicePartition
+from repro.core.remapper import Remapper
+from repro.util.validation import check_integer
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated run.
+
+    Attributes
+    ----------
+    total_time:
+        Virtual seconds until the last node finished the last phase.
+    node_times:
+        Per-node finish times.
+    profile:
+        Computation/communication/remapping breakdown (Figure 9).
+    phases:
+        Number of phases executed.
+    planes_moved:
+        Total migration volume over the run.
+    policy_name:
+        Which remapping scheme ran.
+    final_plane_counts:
+        Partition at the end of the run.
+    """
+
+    total_time: float
+    node_times: np.ndarray
+    profile: NodeProfile
+    phases: int
+    planes_moved: int
+    policy_name: str
+    final_plane_counts: list[int] = field(default_factory=list)
+    #: Per-phase makespan (seconds the slowest node needed), present when
+    #: the simulator ran with ``record_timeline=True``.
+    phase_makespans: np.ndarray | None = None
+    #: Plane counts after every remap attempt (same switch).
+    partition_history: list[list[int]] | None = None
+
+    def speedup_vs_sequential(self, spec: ClusterSpec) -> float:
+        """Speedup against the sequential single-node run of the same
+        problem (the paper's definition)."""
+        seq = sequential_time(spec.total_points, self.phases, spec.cost_model)
+        return speedup(seq, self.total_time)
+
+
+class PhaseSimulator:
+    """Runs the phase-synchronized LBM skeleton on a virtual cluster under
+    one remapping policy."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        policy: RemappingPolicy,
+        *,
+        record_timeline: bool = False,
+    ):
+        self.spec = spec
+        self.policy = policy
+        self.partition = SlicePartition.even(
+            spec.total_planes, spec.n_nodes, spec.plane_points
+        )
+        self.remapper = Remapper(self.partition, policy)
+        self._cursors = [TraceCursor(t) for t in spec.traces]
+        self._times = np.zeros(spec.n_nodes)
+        self.profile = NodeProfile(spec.n_nodes)
+        self.phases_run = 0
+        self.record_timeline = record_timeline
+        self._makespans: list[float] = []
+        self._partition_history: list[list[int]] = []
+
+    # ----------------------------------------------------------- internals
+    def _sync_neighbours(
+        self, ready: np.ndarray, size_bytes: float, ratios: np.ndarray
+    ) -> np.ndarray:
+        """One neighbour-exchange stage: every edge (i, i+1) completes at
+        ``max(ready_i, ready_j) + edge_cost``; a node proceeds once both of
+        its edges are done."""
+        spec = self.spec
+        n = spec.n_nodes
+        model = spec.cost_model
+        done = np.array(ready, dtype=np.float64)
+        if n == 1:
+            return done
+        edge_done = np.empty(n - 1)
+        for e in range(n - 1):
+            r = max(ready[e], ready[e + 1])
+            cost = model.edge_cost(
+                size_bytes,
+                spec.traces[e].penalty_availability(r),
+                spec.traces[e + 1].penalty_availability(r),
+                ratios[e],
+                ratios[e + 1],
+            )
+            edge_done[e] = r + cost
+        for i in range(n):
+            t = ready[i]
+            if i > 0:
+                t = max(t, edge_done[i - 1])
+            if i < n - 1:
+                t = max(t, edge_done[i])
+            done[i] = t
+        return done
+
+    def _compute_chunk(self, start: np.ndarray, fraction: float) -> np.ndarray:
+        """Advance every node through *fraction* of its per-phase work."""
+        model = self.spec.cost_model
+        counts = self.partition.point_counts()
+        out = np.empty_like(start)
+        for i in range(self.spec.n_nodes):
+            work = fraction * model.compute_work(int(counts[i]))
+            out[i] = self._cursors[i].advance(float(start[i]), work)
+        return out
+
+    def step_phase(self) -> np.ndarray:
+        """Run one phase; returns per-node computation times (the load
+        index samples)."""
+        spec = self.spec
+        model = spec.cost_model
+        fa, fb, fc = model.compute_fractions
+        ratios = self.partition.point_counts() / spec.average_points
+
+        t0 = self._times
+        ta = self._compute_chunk(t0, fa)
+        ts1 = self._sync_neighbours(ta, model.exchange1_bytes, ratios)
+        tb = self._compute_chunk(ts1, fb)
+        ts2 = self._sync_neighbours(tb, model.exchange2_bytes, ratios)
+        tc = self._compute_chunk(ts2, fc)
+
+        comp = (ta - t0) + (tb - ts1) + (tc - ts2)
+        comm = (ts1 - ta) + (ts2 - tb)
+        for i in range(spec.n_nodes):
+            self.profile.add_computation(i, float(comp[i]))
+            self.profile.add_communication(i, float(comm[i]))
+
+        if self.record_timeline:
+            self._makespans.append(float((tc - t0).max()))
+        self._times = tc
+        self.phases_run += 1
+        return comp
+
+    def _charge_load_index_exchange(self) -> None:
+        """Neighbour (or global) information exchange preceding a remap
+        decision."""
+        spec = self.spec
+        model = spec.cost_model
+        n = spec.n_nodes
+        t = self._times
+        if self.policy.uses_global_exchange:
+            t_bar = float(t.max())
+            avails = [
+                spec.traces[i].penalty_availability(t_bar) for i in range(n)
+            ]
+            cost = model.collective_cost(avails)
+            for i in range(n):
+                self.profile.add_remapping(i, t_bar + cost - float(t[i]))
+            self._times = np.full(n, t_bar + cost)
+            return
+        ratios = self.partition.point_counts() / spec.average_points
+        done = self._sync_neighbours(t, model.load_index_bytes, ratios)
+        for i in range(n):
+            self.profile.add_remapping(i, float(done[i] - t[i]))
+        self._times = done
+
+    def _charge_migration(self, flows: np.ndarray) -> None:
+        """Ship planes across edges, left to right, so multi-hop chains
+        (the global scheme's long-distance reshuffles) serialize naturally."""
+        spec = self.spec
+        model = spec.cost_model
+        ratios = self.partition.point_counts() / spec.average_points
+        t = self._times
+        for e in range(spec.n_nodes - 1):
+            planes = int(abs(flows[e]))
+            if planes == 0:
+                continue
+            i, j = e, e + 1
+            r = max(float(t[i]), float(t[j]))
+            cost = model.migration_cost(
+                planes,
+                spec.traces[i].penalty_availability(r),
+                spec.traces[j].penalty_availability(r),
+                float(ratios[i]),
+                float(ratios[j]),
+            )
+            done = r + cost
+            self.profile.add_remapping(i, done - float(t[i]))
+            self.profile.add_remapping(j, done - float(t[j]))
+            t[i] = done
+            t[j] = done
+
+    # ---------------------------------------------------------------- run
+    def run(self, phases: int) -> SimulationResult:
+        """Execute *phases* phases (plus remapping at the configured
+        interval) and return the result."""
+        check_integer(phases, "phases", minimum=1)
+        static = isinstance(self.policy, NoRemappingPolicy)
+        for _ in range(phases):
+            comp = self.step_phase()
+            self.remapper.record_phase(comp)
+            if not static and self.remapper.due():
+                self._charge_load_index_exchange()
+                decision = self.remapper.attempt()
+                if decision.moved:
+                    self._charge_migration(decision.flows)
+                if self.record_timeline:
+                    self._partition_history.append(
+                        self.partition.plane_counts().tolist()
+                    )
+        return SimulationResult(
+            total_time=float(self._times.max()),
+            node_times=self._times.copy(),
+            profile=self.profile,
+            phases=self.phases_run,
+            planes_moved=self.remapper.total_planes_moved(),
+            policy_name=self.policy.name,
+            final_plane_counts=self.partition.plane_counts().tolist(),
+            phase_makespans=(
+                np.array(self._makespans) if self.record_timeline else None
+            ),
+            partition_history=(
+                list(self._partition_history) if self.record_timeline else None
+            ),
+        )
+
+
+def simulate(
+    spec: ClusterSpec, policy: RemappingPolicy, phases: int
+) -> SimulationResult:
+    """One-shot convenience wrapper."""
+    return PhaseSimulator(spec, policy).run(phases)

@@ -1,0 +1,102 @@
+"""Conflict resolution and feasibility clamping for migration proposals.
+
+Two adjacent windows can issue opposing transfers across the same edge
+(node i says "give to i+1" while node i+1 says "give to i").  The paper
+deploys a conflict resolution between the two nodes to "redistribute a
+proper amount"; we net the two proposals.  Afterwards, flows are rounded
+to whole planes and clamped so no node is driven below its minimum
+allocation even when it gives on both edges simultaneously.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.partition import SlicePartition
+
+
+def net_edge_proposals(
+    give_right: np.ndarray, give_left: np.ndarray
+) -> np.ndarray:
+    """Net opposing point proposals per edge.
+
+    Parameters
+    ----------
+    give_right:
+        ``give_right[i]`` = points node i proposes to send to node i+1
+        (length P; the last entry must be 0).
+    give_left:
+        ``give_left[i]`` = points node i proposes to send to node i-1
+        (length P; the first entry must be 0).
+
+    Returns
+    -------
+    Net point flow per edge, length P-1; positive = from i to i+1.
+    """
+    give_right = np.asarray(give_right, dtype=np.float64)
+    give_left = np.asarray(give_left, dtype=np.float64)
+    if give_right.shape != give_left.shape or give_right.ndim != 1:
+        raise ValueError("proposal vectors must be 1-D and equal length")
+    if (give_right < 0).any() or (give_left < 0).any():
+        raise ValueError("proposals must be non-negative")
+    if give_right.size and give_right[-1] != 0:
+        raise ValueError("last node cannot give right")
+    if give_left.size and give_left[0] != 0:
+        raise ValueError("first node cannot give left")
+    return give_right[:-1] - give_left[1:]
+
+
+def flows_to_planes(point_flows: np.ndarray, plane_points: int) -> np.ndarray:
+    """Round point flows toward zero to whole planes (lazy: partial planes
+    never move)."""
+    if plane_points <= 0:
+        raise ValueError("plane_points must be positive")
+    return np.trunc(np.asarray(point_flows, dtype=np.float64) / plane_points).astype(
+        np.int64
+    )
+
+
+def clamp_plane_flows(
+    flows: np.ndarray, partition: SlicePartition
+) -> np.ndarray:
+    """Reduce flows so every node keeps >= min_planes after applying them.
+
+    A node may give on both edges at once; clamping reduces its outflows
+    *proportionally* (so an evacuation spreads to both neighbours instead
+    of lopsidedly to one), deterministically, until the plan is feasible.
+    Returns a new flow vector (never mutates the input).
+    """
+    flows = np.asarray(flows, dtype=np.int64).copy()
+    counts = partition.plane_counts()
+    n = partition.n_nodes
+    if flows.shape != (n - 1,):
+        raise ValueError(f"need {n - 1} flows, got {flows.shape}")
+    min_planes = partition.min_planes
+
+    for _ in range(n * 2 + 4):  # generous bound; each pass strictly reduces flow
+        new_counts = counts.copy()
+        new_counts[:-1] -= flows
+        new_counts[1:] += flows
+        deficits = min_planes - new_counts
+        worst = int(np.argmax(deficits))
+        if deficits[worst] <= 0:
+            return flows
+        need = int(deficits[worst])
+        # Outflows of the deficit node: right edge (flow[worst] > 0) and
+        # left edge (flow[worst-1] < 0).
+        out_right = int(flows[worst]) if worst < n - 1 and flows[worst] > 0 else 0
+        out_left = -int(flows[worst - 1]) if worst > 0 and flows[worst - 1] < 0 else 0
+        total_out = out_right + out_left
+        if total_out == 0:
+            raise ValueError(
+                f"node {worst} infeasible without any outflow to reduce "
+                f"(counts={counts.tolist()}, flows={flows.tolist()})"
+            )
+        need = min(need, total_out)
+        cut_right = min(out_right, -(-need * out_right // total_out))  # ceil
+        cut_left = min(out_left, need - cut_right)
+        if cut_right:
+            flows[worst] -= cut_right
+        if cut_left:
+            flows[worst - 1] += cut_left
+    raise RuntimeError("flow clamping failed to converge (internal error)")

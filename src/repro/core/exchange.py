@@ -1,0 +1,105 @@
+"""The neighbour-window balance equations (paper, Section 3.4).
+
+Node i balances the sliding window (i-1, i, i+1).  With point counts
+``n_{i-1}, n_i, n_{i+1}``, predicted times ``t_j`` and processing speeds
+``S_j = n_j / t_j``, the intended counts after remapping equalize the
+windows' completion times:
+
+    n'_j / S_j = (n_{i-1} + n_i + n_{i+1}) / (S_{i-1} + S_i + S_{i+1})
+
+so ``n'_j = S_j * sum(n) / sum(S)``.  Points move from i to i+1 when
+``n'_{i+1} > n_{i+1}`` by the difference (equivalently, when
+``sum(n)/sum(S) > t_{i+1}``).  Edge nodes use two-node windows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def speeds_from(counts: Sequence[float], times: Sequence[float]) -> np.ndarray:
+    """Processing speeds S_i = n_i / t_i (points per second)."""
+    counts_arr = np.asarray(counts, dtype=np.float64)
+    times_arr = np.asarray(times, dtype=np.float64)
+    if counts_arr.shape != times_arr.shape:
+        raise ValueError("counts and times must have the same length")
+    if (times_arr <= 0).any():
+        raise ValueError("predicted times must be positive")
+    if (counts_arr <= 0).any():
+        raise ValueError("point counts must be positive")
+    return counts_arr / times_arr
+
+
+def window_targets(
+    counts: Sequence[float], speeds: Sequence[float]
+) -> np.ndarray:
+    """Intended counts ``n'_j`` for one window: ``S_j * sum(n) / sum(S)``.
+
+    Accepts a window of any size >= 2 (three nodes in the interior, two at
+    the ends of the linear array).
+    """
+    counts_arr = np.asarray(counts, dtype=np.float64)
+    speeds_arr = np.asarray(speeds, dtype=np.float64)
+    if counts_arr.shape != speeds_arr.shape or counts_arr.size < 2:
+        raise ValueError("window needs >= 2 matching counts/speeds")
+    if (speeds_arr <= 0).any():
+        raise ValueError("speeds must be positive")
+    return speeds_arr * counts_arr.sum() / speeds_arr.sum()
+
+
+def desired_transfer(
+    counts: Sequence[float],
+    speeds: Sequence[float],
+    giver: int,
+    receiver: int,
+) -> float:
+    """Points the window wants moved from *giver* to *receiver* (window-
+    local indices); positive iff the receiver is under-loaded relative to
+    its speed (``n'_recv > n_recv``), else 0."""
+    targets = window_targets(counts, speeds)
+    delta = targets[receiver] - float(np.asarray(counts, dtype=np.float64)[receiver])
+    if delta <= 0:
+        return 0.0
+    # The giver can only offer what the window says it should shed.
+    giver_surplus = float(np.asarray(counts, dtype=np.float64)[giver]) - targets[giver]
+    if giver_surplus <= 0:
+        return 0.0
+    return float(min(delta, giver_surplus))
+
+
+def proportional_targets(
+    total_points: float, speeds: Sequence[float]
+) -> np.ndarray:
+    """Global remapping targets: points proportional to speed across *all*
+    nodes (the paper's global information-exchange baseline)."""
+    speeds_arr = np.asarray(speeds, dtype=np.float64)
+    if speeds_arr.size == 0 or (speeds_arr <= 0).any():
+        raise ValueError("speeds must be a non-empty positive vector")
+    if total_points <= 0:
+        raise ValueError("total_points must be positive")
+    return speeds_arr * (total_points / speeds_arr.sum())
+
+
+def chain_flows_for_targets(
+    current: Sequence[int], target: Sequence[float]
+) -> np.ndarray:
+    """Edge flows realizing a global reassignment on the linear array.
+
+    With 1-D slice decomposition, moving to target counts means shifting
+    every slab boundary; the net flow across edge (i, i+1) is the prefix
+    imbalance ``sum_{j<=i} (n_j - n'_j)``.  Positive = planes travel from
+    node i to node i+1 (possibly relayed onward — the multi-hop cost the
+    paper charges against the global scheme).
+    """
+    cur = np.asarray(current, dtype=np.float64)
+    tgt = np.asarray(target, dtype=np.float64)
+    if cur.shape != tgt.shape or cur.size < 1:
+        raise ValueError("current and target must match and be non-empty")
+    if not np.isclose(cur.sum(), tgt.sum()):
+        raise ValueError(
+            f"targets must conserve points: {cur.sum()} vs {tgt.sum()}"
+        )
+    prefix = np.cumsum(cur - tgt)[:-1]
+    return prefix

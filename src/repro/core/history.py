@@ -1,0 +1,47 @@
+"""Per-node phase-time history.
+
+Each node records the wall time of its *computation* in the most recent
+phases (the paper's ``estimate_time()`` of Figure 2, line 21).  The
+predictors in :mod:`repro.core.prediction` turn this history into the load
+index exchanged with neighbours.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.util.validation import check_integer, check_positive
+
+
+class PhaseTimeHistory:
+    """Fixed-capacity ring buffer of recent per-phase execution times.
+
+    The paper keeps the last K = 10 phase times.
+    """
+
+    def __init__(self, capacity: int = 10):
+        self.capacity = check_integer(capacity, "capacity", minimum=1)
+        self._times: deque[float] = deque(maxlen=self.capacity)
+
+    def record(self, phase_time: float) -> None:
+        """Append one phase's execution time (seconds, > 0)."""
+        check_positive(phase_time, "phase_time")
+        self._times.append(float(phase_time))
+
+    def times(self) -> list[float]:
+        """Recorded times, oldest first."""
+        return list(self._times)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def full(self) -> bool:
+        """True once the buffer holds *capacity* samples."""
+        return len(self._times) == self.capacity
+
+    def clear(self) -> None:
+        self._times.clear()
+
+    def __repr__(self) -> str:
+        return f"PhaseTimeHistory(capacity={self.capacity}, n={len(self)})"

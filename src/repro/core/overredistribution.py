@@ -1,0 +1,53 @@
+"""Confirmed-slow detection and the over-redistribution scaling factor.
+
+When a node is detected to be slow *with high confidence* (its filtered
+load index is well below its neighbours'), the filtered scheme evacuates
+it aggressively: instead of the window's computed transfer ``dn``, it
+ships ``beta * dn`` with ``beta = S_receiver / S_giver`` — the paper's
+scaling factor.  A slow node not only computes slowly but also drags every
+synchronized phase through sluggish communication, so minimizing its load
+pays twice.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_in_range, check_positive
+
+
+def is_confirmed_slow(
+    speed: float,
+    neighbour_speeds: list[float],
+    *,
+    slow_ratio: float = 0.8,
+) -> bool:
+    """True when *speed* is below ``slow_ratio`` times the fastest
+    neighbour's speed.
+
+    The confidence comes from the harmonic-mean filter feeding these
+    speeds: a node only looks slow here after being slow for the whole
+    history window, not after one spike.
+    """
+    check_positive(speed, "speed")
+    check_in_range(slow_ratio, "slow_ratio", 0.0, 1.0)
+    if not neighbour_speeds:
+        return False
+    fastest = max(neighbour_speeds)
+    if fastest <= 0:
+        raise ValueError("neighbour speeds must be positive")
+    return speed < slow_ratio * fastest
+
+
+def over_redistribution_factor(
+    giver_speed: float,
+    receiver_speed: float,
+    *,
+    max_beta: float = 8.0,
+) -> float:
+    """The paper's beta = S_receiver / S_giver, capped at *max_beta* and
+    floored at 1 (over-redistribution never ships less than the computed
+    transfer)."""
+    check_positive(giver_speed, "giver_speed")
+    check_positive(receiver_speed, "receiver_speed")
+    check_positive(max_beta, "max_beta")
+    beta = receiver_speed / giver_speed
+    return float(min(max(beta, 1.0), max_beta))

@@ -1,0 +1,15 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment module exposes ``run(fast=False, ...) -> Report``; the
+:mod:`repro.experiments.runner` CLI regenerates any of them::
+
+    python -m repro.experiments.runner fig3 fig6 fig7 fig8 fig9 fig10 table1
+    python -m repro.experiments.runner all --fast
+
+Reports print the same rows/series the paper shows, side by side with the
+paper's reference values where the paper states them.
+"""
+
+from repro.experiments.report import Report
+
+__all__ = ["Report"]

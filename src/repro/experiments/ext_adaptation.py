@@ -1,0 +1,93 @@
+"""Extension experiment: adaptation speed after a mid-run slowdown.
+
+The paper evaluates steady states (a slow node is slow for the whole
+run); this experiment asks the transient question its design implies: a
+dedicated run is interrupted at phase ~120 by a persistent background job
+on node 9.  We track the per-phase makespan and report each scheme's
+*reaction time* — phases until the makespan recovers to within 25% of its
+eventual steady level — and the *excess work* absorbed during the
+transient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.machine import paper_cluster
+from repro.cluster.simulator import PhaseSimulator
+from repro.cluster.workload import delayed_slow_traces
+from repro.core.policies import make_policy
+from repro.experiments.report import Report
+from repro.util.tables import format_table
+
+ORDER = ("no-remap", "conservative", "filtered", "global")
+
+
+def run(
+    fast: bool = False,
+    *,
+    phases: int = 600,
+    onset_time: float = 50.0,
+    slow_node: int = 9,
+) -> Report:
+    if fast:
+        phases = max(200, phases // 3)
+
+    rows = []
+    series: dict[str, np.ndarray] = {}
+    data: dict[str, dict] = {}
+    for name in ORDER:
+        spec = paper_cluster(
+            delayed_slow_traces(20, slow_node, onset_time)
+        )
+        sim = PhaseSimulator(spec, make_policy(name), record_timeline=True)
+        result = sim.run(phases)
+        makespans = result.phase_makespans
+        series[name] = makespans
+
+        onset_phase = int(np.argmax(makespans > 1.5 * makespans[0]))
+        steady = float(np.median(makespans[-phases // 10 :]))
+        recovered = np.flatnonzero(
+            makespans[onset_phase:] <= 1.25 * steady
+        )
+        reaction = int(recovered[0]) if recovered.size else phases
+        excess = float(
+            (makespans[onset_phase:] - steady).clip(min=0).sum()
+        )
+        rows.append(
+            (name, result.total_time, steady, reaction, excess)
+        )
+        data[name] = {
+            "total": result.total_time,
+            "steady_makespan": steady,
+            "reaction_phases": reaction,
+            "excess_seconds": excess,
+        }
+
+    text = format_table(
+        [
+            "scheme",
+            "total (s)",
+            "steady makespan (s)",
+            "reaction (phases)",
+            "excess (s)",
+        ],
+        rows,
+        title=(
+            f"Node {slow_node} becomes slow at t={onset_time:.0f}s; "
+            f"{phases} phases"
+        ),
+        float_fmt="{:.2f}",
+    )
+    summary = (
+        "\nReaction is bounded below by the harmonic-mean history (the lazy "
+        "filter must see ~K slow phases before trusting the slowdown) plus "
+        "the remap interval; the filtered scheme then converges in a "
+        "handful of remap rounds while conservative halving trickles."
+    )
+    return Report(
+        name="ext-adaptation",
+        title="Adaptation speed after a mid-run slowdown",
+        text=text + summary,
+        data={"schemes": data, "makespans": series},
+    )

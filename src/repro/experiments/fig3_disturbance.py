@@ -1,0 +1,70 @@
+"""Figure 3: execution time and per-phase overhead vs. disturbance level.
+
+The paper's setup: 20 nodes, 600 phases, one node disturbed by a competing
+job that is busy a given percentage of every 10-second window.  The paper
+observes a near-linear overhead below ~60% disturbance and a sharp
+increase after, topping out near +186% at full disturbance (251 s -> 717 s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.machine import paper_cluster
+from repro.cluster.metrics import overhead_percent
+from repro.cluster.simulator import simulate
+from repro.cluster.workload import dedicated_traces, duty_cycle_trace
+from repro.core.policies import make_policy
+from repro.experiments.report import Report
+from repro.util.tables import format_table
+
+#: Approximate values read off the paper's Figure 3 for reference.
+PAPER_REFERENCE = {0.0: 250.0, 1.0: 717.0}
+
+
+def run(
+    fast: bool = False,
+    *,
+    phases: int = 600,
+    disturbed_node: int = 9,
+    duties: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+) -> Report:
+    if fast:
+        phases = max(60, phases // 10)
+    base_spec = paper_cluster(dedicated_traces(20))
+    base = simulate(base_spec, make_policy("no-remap"), phases).total_time
+
+    rows = []
+    series = []
+    for duty in duties:
+        traces = dedicated_traces(20)
+        traces[disturbed_node] = duty_cycle_trace(duty)
+        spec = paper_cluster(traces)
+        result = simulate(spec, make_policy("no-remap"), phases)
+        over = overhead_percent(result.total_time, base)
+        per_phase_ms = 1000.0 * (result.total_time - base) / phases
+        rows.append((f"{100 * duty:.0f}%", result.total_time, over, per_phase_ms))
+        series.append((duty, result.total_time, over))
+
+    text = format_table(
+        ["disturbance", "exec time (s)", "overhead (%)", "added/phase (ms)"],
+        rows,
+        title=(
+            f"One disturbed node, {phases} phases, 20 nodes "
+            f"(paper: 250 s undisturbed -> ~717 s at 100%, knee near 60%)"
+        ),
+        float_fmt="{:.1f}",
+    )
+    duties_arr = np.array([s[0] for s in series])
+    overheads = np.array([s[2] for s in series])
+    return Report(
+        name="fig3",
+        title="Increased time caused by competing jobs",
+        text=text,
+        data={
+            "duties": duties_arr,
+            "times": np.array([s[1] for s in series]),
+            "overheads": overheads,
+            "baseline": base,
+        },
+    )

@@ -1,0 +1,97 @@
+"""Figure 9: execution profile and cost distribution per node, 600 phases.
+
+Four schemes, 20 nodes, node 9 shared with a background job (except the
+dedicated case):
+
+- Dedicated (no slow node, remapping off):      paper ~251 s
+- No-remapping (slow node 9):                   paper ~717 s (+185.6%)
+- Conservative remapping:                       paper ~513 s
+- Filtered remapping:                           paper ~313 s (+24.7%)
+
+The paper's stacked bars show: under no-remapping every other node's time
+is dominated by waiting (communication); conservative balances computation
+but keeps the slow node communicating sluggishly; filtered evacuates node
+9 (it ends with almost no computation) and the total collapses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.machine import paper_cluster
+from repro.cluster.simulator import SimulationResult, simulate
+from repro.cluster.workload import dedicated_traces, fixed_slow_traces
+from repro.core.policies import make_policy
+from repro.experiments.report import Report
+from repro.util.tables import format_table
+
+PAPER_TOTALS = {
+    "dedicated": 251.0,
+    "no-remap": 717.0,
+    "conservative": 513.0,
+    "filtered": 313.0,
+}
+
+SCHEMES = ("dedicated", "no-remap", "conservative", "filtered")
+
+
+def run(
+    fast: bool = False,
+    *,
+    phases: int = 600,
+    slow_node: int = 9,
+) -> Report:
+    if fast:
+        phases = max(60, phases // 10)
+
+    results: dict[str, SimulationResult] = {}
+    for scheme in SCHEMES:
+        if scheme == "dedicated":
+            traces = dedicated_traces(20)
+            policy = make_policy("no-remap")
+        else:
+            traces = fixed_slow_traces(20, [slow_node])
+            policy = make_policy(scheme)
+        spec = paper_cluster(traces)
+        results[scheme] = simulate(spec, policy, phases)
+
+    summary_rows = []
+    for scheme in SCHEMES:
+        r = results[scheme]
+        ref = PAPER_TOTALS[scheme] * (phases / 600.0)
+        increase = 100.0 * (r.total_time / results["dedicated"].total_time - 1.0)
+        summary_rows.append(
+            (scheme, r.total_time, ref, increase, r.planes_moved)
+        )
+    summary = format_table(
+        ["scheme", "total (s)", "paper (s, scaled)", "vs dedicated (%)", "planes moved"],
+        summary_rows,
+        title=f"Totals over {phases} phases (slow node = node {slow_node})",
+        float_fmt="{:.1f}",
+    )
+
+    sections = [summary]
+    per_node: dict[str, dict[str, np.ndarray]] = {}
+    for scheme in SCHEMES:
+        p = results[scheme].profile
+        sections.append(
+            "\n" + p.to_table(title=f"-- per-node profile: {scheme} --")
+        )
+        per_node[scheme] = {
+            "computation": p.computation.copy(),
+            "communication": p.communication.copy(),
+            "remapping": p.remapping.copy(),
+        }
+
+    return Report(
+        name="fig9",
+        title="Execution profile and cost distribution for different schemes",
+        text="\n".join(sections),
+        data={
+            "totals": {s: results[s].total_time for s in SCHEMES},
+            "profiles": per_node,
+            "final_counts": {
+                s: results[s].final_plane_counts for s in SCHEMES
+            },
+        },
+    )

@@ -1,0 +1,32 @@
+"""Experiment report container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Report:
+    """Outcome of one experiment.
+
+    Attributes
+    ----------
+    name:
+        Experiment id (``fig3`` ... ``table1``).
+    title:
+        Human-readable description.
+    text:
+        Rendered tables (what the CLI prints, what EXPERIMENTS.md quotes).
+    data:
+        Raw rows/series keyed by name, for tests and downstream analysis.
+    """
+
+    name: str
+    title: str
+    text: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        header = f"== {self.name}: {self.title} =="
+        return f"{header}\n{self.text}"

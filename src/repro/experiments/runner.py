@@ -1,0 +1,101 @@
+"""CLI for regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments.runner all --fast
+    python -m repro.experiments.runner fig9 table1
+    repro-experiments fig7            # console script
+
+``--fast`` shrinks phase counts / grids by roughly an order of magnitude
+so the whole suite completes in a couple of minutes; default settings
+match the paper's configurations (20 000-phase Figure 8 takes the
+longest).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Callable
+
+from repro.experiments import (
+    ext_adaptation,
+    ext_decomposition,
+    ext_resolution,
+    ext_slip_sweep,
+    ext_heterogeneous,
+    fig3_disturbance,
+    fig6_density,
+    fig7_velocity,
+    fig8_speedup,
+    fig9_profile,
+    fig10_schemes,
+    table1_spikes,
+    validation,
+)
+from repro.experiments.report import Report
+
+EXPERIMENTS: dict[str, Callable[..., Report]] = {
+    "fig3": fig3_disturbance.run,
+    "fig6": fig6_density.run,
+    "fig7": fig7_velocity.run,
+    "fig8": fig8_speedup.run,
+    "fig9": fig9_profile.run,
+    "fig10": fig10_schemes.run,
+    "table1": table1_spikes.run,
+    "validation": validation.run,
+    "ext-adaptation": ext_adaptation.run,
+    "ext-slip-sweep": ext_slip_sweep.run,
+    "ext-resolution": ext_resolution.run,
+    "ext-decomposition": ext_decomposition.run,
+    "ext-heterogeneous": ext_heterogeneous.run,
+}
+
+ORDER = (
+    "validation",
+    "fig3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table1",
+    "ext-decomposition",
+    "ext-heterogeneous",
+    "ext-adaptation",
+    "ext-slip-sweep",
+    "ext-resolution",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment ids, or 'all'",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="scaled-down settings (~10x fewer phases / smaller grids)",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(ORDER) if "all" in args.experiments else args.experiments
+    for name in names:
+        start = time.perf_counter()
+        report = EXPERIMENTS[name](fast=args.fast)
+        elapsed = time.perf_counter() - start
+        print(report)
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

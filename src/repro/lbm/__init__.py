@@ -1,0 +1,87 @@
+"""Lattice Boltzmann substrate: multicomponent Shan-Chen LBM with
+hydrophobic wall forces, as used by the paper's fluid-slip simulation.
+
+The package is organised as small, dimension-agnostic numpy kernels
+(:mod:`repro.lbm.collision`, :mod:`repro.lbm.streaming`, ...) composed by a
+single-process solver (:class:`repro.lbm.solver.MulticomponentLBM`).  The
+parallel driver in :mod:`repro.parallel` reuses the same kernels on x-slabs
+with ghost planes.
+"""
+
+from repro.lbm.analytic import (
+    navier_slip_poiseuille,
+    poiseuille_velocity,
+    slip_fraction_to_slip_length,
+    slip_length_to_slip_fraction,
+    taylor_green_velocity,
+)
+from repro.lbm.adhesion import contact_density_ratio, wall_indicator_field
+from repro.lbm.checkpoint import load_checkpoint, save_checkpoint
+from repro.lbm.export import export_fields_npz, export_profile_csv, export_vtk
+from repro.lbm.lattice import Lattice, D2Q9, D3Q19, get_lattice
+from repro.lbm.mrt import MRTCollision, MRTRelaxationRates
+from repro.lbm.multiphase import (
+    phase_separation_config,
+    run_phase_separation,
+    measure_coexistence,
+)
+from repro.lbm.obstacles import MaskedGeometry, cylinder_mask, momentum_exchange
+from repro.lbm.open_boundary import PressureBoundary2D
+from repro.lbm.components import ComponentSpec
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.forces import WallForceSpec
+from repro.lbm.solver import LBMConfig, MulticomponentLBM
+from repro.lbm.units import UnitSystem, PAPER_UNITS
+from repro.lbm.diagnostics import (
+    Profile,
+    apparent_slip_fraction,
+    apparent_slip_gain,
+    density_profile,
+    first_node_velocity_fraction,
+    normalized_velocity_profile,
+    slip_fraction,
+    velocity_profile,
+)
+
+__all__ = [
+    "Lattice",
+    "D2Q9",
+    "D3Q19",
+    "get_lattice",
+    "ComponentSpec",
+    "ChannelGeometry",
+    "WallForceSpec",
+    "LBMConfig",
+    "MulticomponentLBM",
+    "UnitSystem",
+    "PAPER_UNITS",
+    "navier_slip_poiseuille",
+    "poiseuille_velocity",
+    "slip_fraction_to_slip_length",
+    "slip_length_to_slip_fraction",
+    "taylor_green_velocity",
+    "load_checkpoint",
+    "save_checkpoint",
+    "export_fields_npz",
+    "export_profile_csv",
+    "export_vtk",
+    "MRTCollision",
+    "MRTRelaxationRates",
+    "phase_separation_config",
+    "run_phase_separation",
+    "measure_coexistence",
+    "PressureBoundary2D",
+    "MaskedGeometry",
+    "cylinder_mask",
+    "momentum_exchange",
+    "contact_density_ratio",
+    "wall_indicator_field",
+    "Profile",
+    "apparent_slip_fraction",
+    "apparent_slip_gain",
+    "density_profile",
+    "first_node_velocity_fraction",
+    "normalized_velocity_profile",
+    "slip_fraction",
+    "velocity_profile",
+]

@@ -1,0 +1,43 @@
+"""Solid-wall boundary condition: full-way bounce-back.
+
+After streaming, populations that propagated *into* a solid node are
+reversed in place (f_k <- f_opp(k) at solid nodes); on the next streaming
+step they travel back into the fluid.  The effective no-slip surface sits
+half a lattice spacing outside the first fluid node, which is the standard
+interpretation used when extracting wall distances (see
+:mod:`repro.lbm.geometry`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lbm.lattice import Lattice
+
+
+def bounce_back(f: np.ndarray, solid_mask: np.ndarray, lattice: Lattice) -> None:
+    """Reverse all populations at solid nodes, in place.
+
+    Parameters
+    ----------
+    f:
+        Populations, shape ``(Q, *S)``.
+    solid_mask:
+        Boolean field of shape ``(*S,)``, True at solid (wall) nodes.
+    """
+    if solid_mask.shape != f.shape[1:]:
+        raise ValueError(
+            f"solid_mask shape {solid_mask.shape} != spatial shape {f.shape[1:]}"
+        )
+    if not solid_mask.any():
+        return
+    at_solid = f[:, solid_mask]  # (Q, n_solid) copy
+    f[:, solid_mask] = at_solid[lattice.opp]
+
+
+def bounce_back_component_stack(
+    f: np.ndarray, solid_mask: np.ndarray, lattice: Lattice
+) -> None:
+    """Bounce-back for a component stack ``(C, Q, *S)``."""
+    for comp in range(f.shape[0]):
+        bounce_back(f[comp], solid_mask, lattice)

@@ -1,0 +1,50 @@
+"""BGK (single-relaxation-time) collision operator.
+
+The LBGK update per component sigma (paper, Section 2.1) is
+
+``f_k^sigma <- f_k^sigma - (f_k^sigma - feq_k^sigma) / tau_sigma``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def collide(f: np.ndarray, feq: np.ndarray, tau: float) -> None:
+    """Relax *f* toward *feq* in place with relaxation time *tau*.
+
+    Both arrays have shape ``(Q, *S)``.  Written as in-place numpy so the
+    solver's hot loop allocates nothing.
+    """
+    if f.shape != feq.shape:
+        raise ValueError(f"f shape {f.shape} != feq shape {feq.shape}")
+    if tau <= 0.5:
+        raise ValueError(f"tau must be > 1/2, got {tau}")
+    omega = 1.0 / tau
+    # f = (1 - omega) * f + omega * feq, in place:
+    f *= 1.0 - omega
+    f += omega * feq
+
+
+def collide_masked(
+    f: np.ndarray, feq: np.ndarray, tau: float, fluid_mask: np.ndarray
+) -> None:
+    """Collision restricted to fluid nodes.
+
+    Solid (wall) nodes keep their populations untouched; they are handled
+    by bounce-back after streaming.  *fluid_mask* has the spatial shape
+    ``(*S,)`` with True at fluid nodes.
+    """
+    if f.shape != feq.shape:
+        raise ValueError(f"f shape {f.shape} != feq shape {feq.shape}")
+    if fluid_mask.shape != f.shape[1:]:
+        raise ValueError(
+            f"fluid_mask shape {fluid_mask.shape} != spatial shape {f.shape[1:]}"
+        )
+    if tau <= 0.5:
+        raise ValueError(f"tau must be > 1/2, got {tau}")
+    omega = 1.0 / tau
+    delta = feq[:, fluid_mask]
+    delta -= f[:, fluid_mask]
+    delta *= omega
+    f[:, fluid_mask] += delta

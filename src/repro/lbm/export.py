@@ -1,0 +1,100 @@
+"""Field export for post-processing: NPZ snapshots, CSV profiles, and a
+minimal legacy-VTK structured-points writer (readable by ParaView) — all
+dependency-free.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.lbm.diagnostics import Profile
+from repro.lbm.solver import MulticomponentLBM
+
+
+def export_fields_npz(solver: MulticomponentLBM, path: str | Path) -> None:
+    """Save the macroscopic fields (densities per component, mixture
+    velocity, fluid mask) to a compressed ``.npz``."""
+    names = [c.name for c in solver.config.components]
+    np.savez_compressed(
+        Path(path),
+        component_names=np.array(names),
+        rho=solver.rho,
+        velocity=solver.velocity(),
+        fluid_mask=solver.fluid,
+        step_count=np.int64(solver.step_count),
+    )
+
+
+def export_profile_csv(
+    profile: Profile, path: str | Path, *, value_name: str = "value"
+) -> None:
+    """Write a 1-D profile as a two-column CSV."""
+    with open(Path(path), "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["position", value_name])
+        for d, v in zip(profile.positions, profile.values):
+            writer.writerow([f"{d:.6g}", f"{v:.10g}"])
+
+
+def read_profile_csv(path: str | Path) -> Profile:
+    """Read a profile written by :func:`export_profile_csv`."""
+    positions, values = [], []
+    with open(Path(path), newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        if len(header) != 2 or header[0] != "position":
+            raise ValueError(f"not a profile CSV: header {header!r}")
+        for row in reader:
+            positions.append(float(row[0]))
+            values.append(float(row[1]))
+    return Profile(np.array(positions), np.array(values))
+
+
+def export_vtk(solver: MulticomponentLBM, path: str | Path) -> None:
+    """Write the density and velocity fields as a legacy-VTK
+    STRUCTURED_POINTS file (ASCII).
+
+    Works for 2-D (written as a 1-layer 3-D grid) and 3-D solvers.
+    """
+    path = Path(path)
+    shape = solver.config.geometry.shape
+    ndim = len(shape)
+    dims = shape + (1,) * (3 - ndim)
+    n_points = int(np.prod(dims))
+
+    u = solver.velocity()
+    if ndim == 2:
+        u3 = np.zeros((3,) + dims)
+        u3[0, :, :, 0] = u[0]
+        u3[1, :, :, 0] = u[1]
+        rho = solver.rho[..., None]
+    else:
+        u3 = np.zeros((3,) + dims)
+        u3[:ndim] = u
+        rho = solver.rho
+
+    lines = [
+        "# vtk DataFile Version 3.0",
+        f"repro LBM snapshot step {solver.step_count}",
+        "ASCII",
+        "DATASET STRUCTURED_POINTS",
+        f"DIMENSIONS {dims[0]} {dims[1]} {dims[2]}",
+        "ORIGIN 0 0 0",
+        "SPACING 1 1 1",
+        f"POINT_DATA {n_points}",
+    ]
+    # VTK expects x varying fastest: transpose to (z, y, x) then ravel.
+    for ci, comp in enumerate(solver.config.components):
+        lines.append(f"SCALARS rho_{comp.name} double 1")
+        lines.append("LOOKUP_TABLE default")
+        flat = np.transpose(rho[ci], (2, 1, 0)).ravel()
+        lines.extend(f"{v:.9g}" for v in flat)
+    lines.append("VECTORS velocity double")
+    vx = np.transpose(u3[0], (2, 1, 0)).ravel()
+    vy = np.transpose(u3[1], (2, 1, 0)).ravel()
+    vz = np.transpose(u3[2], (2, 1, 0)).ravel()
+    lines.extend(f"{a:.9g} {b:.9g} {c:.9g}" for a, b, c in zip(vx, vy, vz))
+    path.write_text("\n".join(lines) + "\n")

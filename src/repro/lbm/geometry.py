@@ -1,0 +1,157 @@
+"""Microchannel geometry: solid masks and wall-distance fields.
+
+The paper's channel (Figure 5) is a rectangular duct: flow along x
+(periodic in the simulation), side walls normal to y (width 1 micron) and
+top/bottom walls normal to z (depth 0.1 micron).  The hydrophobic wall
+force depends on the distance from each wall along the inward normal, so
+the geometry also exposes per-axis distance fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_integer
+
+
+@dataclass(frozen=True)
+class ChannelGeometry:
+    """A duct with solid wall planes on the requested axes.
+
+    Parameters
+    ----------
+    shape:
+        Full grid shape, e.g. ``(400, 200, 20)``.  Axis 0 (x) is the flow /
+        decomposition direction and is always periodic.
+    wall_axes:
+        Axes that carry solid wall planes at index 0 and index -1.
+        ``None`` (default) means every non-x axis (a duct); pass ``(1,)``
+        for a 2-D channel between two plates, or ``()`` for a fully
+        periodic box (no walls — used by validation flows like the
+        Taylor-Green vortex).
+    wall_thickness:
+        Number of solid layers on each side (>= 1).
+    """
+
+    shape: tuple[int, ...]
+    wall_axes: tuple[int, ...] | None = None
+    wall_thickness: int = 1
+
+    def __post_init__(self) -> None:
+        shape = tuple(check_integer(n, "shape entry", minimum=1) for n in self.shape)
+        if len(shape) not in (2, 3):
+            raise ValueError(f"shape must be 2-D or 3-D, got {shape}")
+        wall_axes = (
+            tuple(range(1, len(shape)))
+            if self.wall_axes is None
+            else tuple(self.wall_axes)
+        )
+        for ax in wall_axes:
+            if not 1 <= ax < len(shape):
+                raise ValueError(
+                    f"wall axis {ax} invalid; axis 0 is periodic flow direction"
+                )
+        t = check_integer(self.wall_thickness, "wall_thickness", minimum=1)
+        for ax in wall_axes:
+            if shape[ax] <= 2 * t + 1:
+                raise ValueError(
+                    f"axis {ax} of extent {shape[ax]} too small for walls of "
+                    f"thickness {t} plus fluid"
+                )
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "wall_axes", tuple(sorted(set(wall_axes))))
+        object.__setattr__(self, "wall_thickness", t)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def solid_mask(self) -> np.ndarray:
+        """Boolean field, True at solid wall nodes."""
+        mask = np.zeros(self.shape, dtype=bool)
+        t = self.wall_thickness
+        for ax in self.wall_axes:
+            sl_lo = [slice(None)] * self.ndim
+            sl_hi = [slice(None)] * self.ndim
+            sl_lo[ax] = slice(0, t)
+            sl_hi[ax] = slice(self.shape[ax] - t, self.shape[ax])
+            mask[tuple(sl_lo)] = True
+            mask[tuple(sl_hi)] = True
+        return mask
+
+    def fluid_mask(self) -> np.ndarray:
+        """Boolean field, True at fluid nodes."""
+        return ~self.solid_mask()
+
+    def wall_distance(self, axis: int) -> np.ndarray:
+        """Distance (lattice units) from the nearest wall along *axis*.
+
+        The no-slip surface of full-way bounce-back lies half a spacing
+        beyond the outermost fluid node, so the first fluid node is at
+        distance 0.5 from the wall.  Solid nodes get distance 0.
+
+        Returns a field of the full grid shape (broadcast from a 1-D
+        profile along *axis*).
+        """
+        if axis not in self.wall_axes:
+            raise ValueError(f"axis {axis} has no walls (wall_axes={self.wall_axes})")
+        n = self.shape[axis]
+        t = self.wall_thickness
+        idx = np.arange(n, dtype=np.float64)
+        # Wall surfaces sit between the last solid node (t - 1) and the
+        # first fluid node (t): surface position t - 1/2; symmetric on top.
+        lo_surface = t - 0.5
+        hi_surface = (n - 1 - t) + 0.5
+        dist = np.minimum(idx - lo_surface, hi_surface - idx)
+        dist = np.maximum(dist, 0.0)
+        shape = [1] * self.ndim
+        shape[axis] = n
+        return np.broadcast_to(dist.reshape(shape), self.shape).copy()
+
+    def wall_coordinate(self, axis: int) -> np.ndarray:
+        """Signed distance (lattice units) from the *low* wall surface along
+        *axis* — a monotone coordinate across the channel, used for profile
+        plots ("distance from the side wall", paper Figure 6/7).
+
+        The low wall surface sits half a spacing beyond the outermost solid
+        node, so the first fluid node is at coordinate 0.5 and the last at
+        ``channel_width(axis) - 0.5``.
+        """
+        if axis not in self.wall_axes:
+            raise ValueError(f"axis {axis} has no walls (wall_axes={self.wall_axes})")
+        n = self.shape[axis]
+        t = self.wall_thickness
+        idx = np.arange(n, dtype=np.float64)
+        lo_surface = t - 0.5
+        coord = idx - lo_surface
+        shape = [1] * self.ndim
+        shape[axis] = n
+        return np.broadcast_to(coord.reshape(shape), self.shape).copy()
+
+    def channel_width(self, axis: int) -> float:
+        """Distance between the two no-slip wall surfaces along *axis*."""
+        if axis not in self.wall_axes:
+            raise ValueError(f"axis {axis} has no walls (wall_axes={self.wall_axes})")
+        return float(self.shape[axis] - 2 * self.wall_thickness)
+
+    def inward_normal(self, axis: int) -> np.ndarray:
+        """Sign field (+1 / -1 / 0) pointing from the nearest wall into the
+        channel along *axis*; 0 on the centerline and at solid nodes."""
+        if axis not in self.wall_axes:
+            raise ValueError(f"axis {axis} has no walls (wall_axes={self.wall_axes})")
+        n = self.shape[axis]
+        idx = np.arange(n, dtype=np.float64)
+        center = (n - 1) / 2.0
+        sign = np.sign(center - idx)
+        t = self.wall_thickness
+        sign[:t] = 0.0
+        sign[n - t:] = 0.0
+        shape = [1] * self.ndim
+        shape[axis] = n
+        return np.broadcast_to(sign.reshape(shape), self.shape).copy()
+
+    def centerline_index(self, axis: int) -> int:
+        """Index of the grid line closest to the channel center on *axis*."""
+        return self.shape[axis] // 2

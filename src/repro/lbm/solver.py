@@ -1,0 +1,395 @@
+"""The single-process multicomponent LBM solver.
+
+One :meth:`MulticomponentLBM.step` performs the computational phase of the
+paper's Figure 2 pseudocode (lines 4-17):
+
+1. collision of every component toward its forced equilibrium (using the
+   velocity computed at the end of the previous phase),
+2. streaming,
+3. bounce-back at the solid walls,
+4. moment update (densities and momenta),
+5. interparticle (Shan-Chen) + hydrophobic wall + body forces,
+6. common velocity and per-component equilibrium velocities for the next
+   collision.
+
+The parallel driver in :mod:`repro.parallel.driver` runs the same sequence
+on x-slabs, inserting halo exchanges where the pseudocode has its two
+communication points.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lbm.boundary import bounce_back
+from repro.lbm.components import ComponentSpec
+from repro.lbm.equilibrium import equilibrium
+from repro.lbm.forces import WallForceSpec, body_force_field, wall_force_field
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import Lattice, D3Q19
+from repro.lbm.macroscopic import (
+    common_velocity,
+    component_density,
+    component_momentum,
+    mixture_velocity,
+)
+from repro.lbm.shan_chen import (
+    PsiFunction,
+    interaction_force,
+    psi_identity,
+    validate_g_matrix,
+)
+from repro.lbm.streaming import stream
+
+
+@dataclass(frozen=True)
+class LBMConfig:
+    """Full configuration of a multicomponent LBM run.
+
+    Attributes
+    ----------
+    geometry:
+        Channel geometry (grid shape, wall axes).
+    components:
+        One :class:`ComponentSpec` per fluid component.
+    g_matrix:
+        Symmetric S-C coupling matrix, shape ``(C, C)``.  A positive
+        off-diagonal entry makes the components mutually repulsive
+        (immiscible), as in the paper's water/air system.
+    lattice:
+        Velocity set; must match the geometry dimension.
+    wall_force:
+        Optional hydrophobic wall force applied (as an acceleration) to the
+        named component.  ``None`` disables it (the paper's "no wall
+        forces" control in Figure 7).
+    body_acceleration:
+        Uniform driving acceleration (pressure-gradient surrogate), applied
+        to every component; typically along +x.
+    psi:
+        Pseudopotential function for the S-C force.
+    collision:
+        ``"bgk"`` (the paper's LBGK, default) or ``"mrt"`` (multiple
+        relaxation times, D2Q9 only; shear rate taken from each
+        component's tau so the viscosity is unchanged).
+    adhesion:
+        Optional Shan-Chen wall-adhesion couplings, one per component
+        (``g_ads > 0`` repels from the walls, ``< 0`` wets them) — the
+        standard S-C wettability mechanism, as an alternative to the
+        paper's explicit ``wall_force`` (see :mod:`repro.lbm.adhesion`).
+    """
+
+    geometry: ChannelGeometry
+    components: tuple[ComponentSpec, ...]
+    g_matrix: np.ndarray
+    lattice: Lattice = D3Q19
+    wall_force: WallForceSpec | None = None
+    body_acceleration: tuple[float, ...] | None = None
+    psi: PsiFunction = field(default=psi_identity)
+    collision: str = "bgk"
+    adhesion: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.lattice.D != self.geometry.ndim:
+            raise ValueError(
+                f"lattice {self.lattice.name} is {self.lattice.D}-D but the "
+                f"geometry is {self.geometry.ndim}-D"
+            )
+        if not self.components:
+            raise ValueError("at least one component is required")
+        names = [c.name for c in self.components]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate component names: {names}")
+        g = validate_g_matrix(np.asarray(self.g_matrix), len(self.components))
+        object.__setattr__(self, "g_matrix", g)
+        if self.wall_force is not None and self.wall_force.component not in names:
+            raise ValueError(
+                f"wall force targets unknown component "
+                f"{self.wall_force.component!r}; have {names}"
+            )
+        if self.body_acceleration is not None:
+            acc = tuple(float(a) for a in self.body_acceleration)
+            if len(acc) != self.geometry.ndim:
+                raise ValueError(
+                    f"body_acceleration must have {self.geometry.ndim} entries"
+                )
+            object.__setattr__(self, "body_acceleration", acc)
+        if self.collision not in ("bgk", "mrt"):
+            raise ValueError(
+                f"collision must be 'bgk' or 'mrt', got {self.collision!r}"
+            )
+        if self.collision == "mrt" and (self.lattice.D, self.lattice.Q) != (2, 9):
+            raise ValueError("MRT collision is implemented for D2Q9 only")
+        if self.adhesion is not None:
+            adh = tuple(float(a) for a in self.adhesion)
+            if len(adh) != len(self.components):
+                raise ValueError(
+                    f"adhesion needs one coupling per component "
+                    f"({len(self.components)}), got {len(adh)}"
+                )
+            object.__setattr__(self, "adhesion", adh)
+
+    @property
+    def n_components(self) -> int:
+        return len(self.components)
+
+    def component_index(self, name: str) -> int:
+        for i, c in enumerate(self.components):
+            if c.name == name:
+                return i
+        raise KeyError(name)
+
+
+class MulticomponentLBM:
+    """Single-process solver for the configured multicomponent system.
+
+    State arrays (all float64):
+
+    - ``f``:      populations, shape ``(C, Q, *S)``
+    - ``rho``:    component densities, ``(C, *S)``
+    - ``mom``:    component momenta, ``(C, D, *S)``
+    - ``force``:  total force on each component, ``(C, D, *S)``
+    - ``u_eq``:   per-component equilibrium velocities, ``(C, D, *S)``
+    """
+
+    def __init__(self, config: LBMConfig):
+        self.config = config
+        lat = config.lattice
+        geo = config.geometry
+        shape = geo.shape
+        n_comp = config.n_components
+
+        self.solid = geo.solid_mask()
+        self.fluid = ~self.solid
+        self._fluid_f = self.fluid.astype(np.float64)
+
+        self.taus = np.array([c.tau for c in config.components])
+        self.masses = np.array([c.mass for c in config.components])
+
+        # Static acceleration fields (force per unit density), per component.
+        self._accel = np.zeros((n_comp, lat.D) + shape, dtype=np.float64)
+        if config.wall_force is not None:
+            target = config.component_index(config.wall_force.component)
+            self._accel[target] += wall_force_field(geo, config.wall_force)
+        if config.body_acceleration is not None:
+            body = body_force_field(geo, config.body_acceleration)
+            for c in range(n_comp):
+                self._accel[c] += body
+
+        # Population arrays: uniform rest equilibrium on fluid nodes,
+        # zero inside the solid (so total fluid mass is exactly conserved).
+        self.f = np.zeros((n_comp, lat.Q) + shape, dtype=np.float64)
+        zero_u = np.zeros((lat.D,) + shape, dtype=np.float64)
+        for ci, comp in enumerate(config.components):
+            rho_init = np.where(self.fluid, comp.rho_init / comp.mass, 0.0)
+            equilibrium(rho_init, zero_u, lat, out=self.f[ci])
+
+        self.rho = np.zeros((n_comp,) + shape, dtype=np.float64)
+        self.mom = np.zeros((n_comp, lat.D) + shape, dtype=np.float64)
+        self.force = np.zeros_like(self.mom)
+        self.u_eq = np.zeros_like(self.mom)
+        self._feq_scratch = np.zeros((lat.Q,) + shape, dtype=np.float64)
+
+        self._wall_field: np.ndarray | None = None
+        if config.adhesion is not None:
+            from repro.lbm.adhesion import wall_indicator_field
+
+            self._wall_field = wall_indicator_field(geo, lat)
+
+        self._mrt: list | None = None
+        if config.collision == "mrt":
+            from repro.lbm.mrt import MRTCollision, MRTRelaxationRates
+
+            self._mrt = [
+                MRTCollision(MRTRelaxationRates.from_tau(comp.tau), lat)
+                for comp in config.components
+            ]
+
+        #: Hooks called after streaming + bounce-back, before the moment
+        #: update — the insertion point for open boundary conditions
+        #: (see :mod:`repro.lbm.open_boundary`).  Each receives the solver.
+        self.post_stream_hooks: list[Callable[["MulticomponentLBM"], None]] = []
+
+        #: When True, :attr:`last_wall_momentum` is updated every step
+        #: with the momentum-exchange force on all solid nodes (used for
+        #: obstacle drag; see :mod:`repro.lbm.obstacles`).
+        self.track_wall_momentum = False
+        self.last_wall_momentum: np.ndarray | None = None
+
+        self.step_count = 0
+        self.update_moments_and_forces()
+
+    # ----------------------------------------------------------- (re)init
+    def initialize_equilibrium(
+        self, rhos: np.ndarray, u: np.ndarray
+    ) -> None:
+        """Reset the populations to the equilibrium of the given
+        macroscopic state (used for validation flows like the Taylor-Green
+        vortex, and by checkpoint restore).
+
+        Parameters
+        ----------
+        rhos:
+            Component mass densities, shape ``(C, *S)``; zeroed at solid
+            nodes internally.
+        u:
+            Shared initial velocity, shape ``(D, *S)``.
+        """
+        lat = self.config.lattice
+        rhos = np.asarray(rhos, dtype=np.float64)
+        u = np.asarray(u, dtype=np.float64)
+        if rhos.shape != self.rho.shape:
+            raise ValueError(f"rhos must have shape {self.rho.shape}")
+        if u.shape != (lat.D,) + self.config.geometry.shape:
+            raise ValueError(
+                f"u must have shape {(lat.D,) + self.config.geometry.shape}"
+            )
+        for ci, comp in enumerate(self.config.components):
+            n = np.where(self.fluid, rhos[ci] / comp.mass, 0.0)
+            equilibrium(n, u * self._fluid_f, lat, out=self.f[ci])
+        self.step_count = 0
+        self.update_moments_and_forces()
+
+    # ------------------------------------------------------------ energy
+    def kinetic_energy(self) -> float:
+        """Total kinetic energy ``sum rho |u|^2 / 2`` over fluid nodes."""
+        u = self.velocity()
+        rho = self.mixture_density()
+        usq = np.einsum("d...,d...->...", u, u)
+        return float(0.5 * (rho * usq)[self.fluid].sum())
+
+    # ------------------------------------------------------------------ steps
+    def step(self) -> None:
+        """Advance one LBM phase (collision, streaming, walls, moments,
+        forces, velocities)."""
+        self.collide()
+        self.stream_and_bounce()
+        self.update_moments_and_forces()
+        self.step_count += 1
+
+    def run(
+        self,
+        n_steps: int,
+        *,
+        callback: Callable[["MulticomponentLBM"], None] | None = None,
+        check_interval: int = 0,
+    ) -> None:
+        """Run *n_steps* phases; optionally call *callback(self)* after each
+        and check numerical health every *check_interval* steps (0 = never).
+        """
+        if n_steps < 0:
+            raise ValueError(f"n_steps must be >= 0, got {n_steps}")
+        for i in range(n_steps):
+            self.step()
+            if check_interval and (i + 1) % check_interval == 0:
+                self.check_health()
+            if callback is not None:
+                callback(self)
+
+    def collide(self) -> None:
+        """Relax every component toward its forced equilibrium (BGK or
+        MRT per the configuration), restricted to fluid nodes."""
+        lat = self.config.lattice
+        if self._mrt is not None:
+            for ci, comp in enumerate(self.config.components):
+                self._mrt[ci].collide(
+                    self.f[ci],
+                    self.rho[ci] / comp.mass,
+                    self.u_eq[ci],
+                    fluid_mask=self._fluid_f,
+                )
+            return
+        for ci, comp in enumerate(self.config.components):
+            feq = equilibrium(
+                self.rho[ci] / comp.mass, self.u_eq[ci], lat, out=self._feq_scratch
+            )
+            omega = 1.0 / comp.tau
+            # f += omega * (feq - f) on fluid nodes only; vectorised with a
+            # float mask to avoid fancy-indexing copies in the hot loop.
+            delta = feq
+            delta -= self.f[ci]
+            delta *= omega * self._fluid_f
+            self.f[ci] += delta
+
+    def stream_and_bounce(self) -> None:
+        """Streaming plus full-way bounce-back at the solid walls, then any
+        registered open-boundary hooks."""
+        lat = self.config.lattice
+        wall_momentum = (
+            np.zeros(lat.D) if self.track_wall_momentum else None
+        )
+        for ci in range(self.config.n_components):
+            stream(self.f[ci], lat)
+            if wall_momentum is not None:
+                from repro.lbm.obstacles import momentum_exchange
+
+                wall_momentum += self.config.components[ci].mass * (
+                    momentum_exchange(self.f[ci], self.solid, lat)
+                )
+            bounce_back(self.f[ci], self.solid, lat)
+        if wall_momentum is not None:
+            self.last_wall_momentum = wall_momentum
+        for hook in self.post_stream_hooks:
+            hook(self)
+
+    def update_moments_and_forces(self) -> None:
+        """Recompute densities, momenta, forces and equilibrium velocities
+        from the current populations."""
+        lat = self.config.lattice
+        cfg = self.config
+        for ci, comp in enumerate(cfg.components):
+            self.rho[ci] = component_density(self.f[ci], comp.mass)
+            self.mom[ci] = component_momentum(self.f[ci], lat, comp.mass)
+
+        psis = np.stack([cfg.psi(self.rho[ci]) for ci in range(cfg.n_components)])
+        psis *= self._fluid_f  # neutral walls: psi = 0 inside the solid
+        sc = interaction_force(psis, cfg.g_matrix, lat)
+
+        self.force[:] = sc
+        self.force += self._accel * self.rho[:, None]
+        if self._wall_field is not None:
+            assert cfg.adhesion is not None
+            for ci, g_ads in enumerate(cfg.adhesion):
+                if g_ads != 0.0:
+                    self.force[ci] -= g_ads * psis[ci][None] * self._wall_field
+
+        u_common = common_velocity(self.rho, self.mom, self.taus)
+        for ci, comp in enumerate(cfg.components):
+            safe_rho = np.maximum(self.rho[ci], 1e-300)
+            self.u_eq[ci] = u_common + comp.tau * self.force[ci] / safe_rho
+            self.u_eq[ci] *= self._fluid_f  # keep solid nodes at rest
+
+    # ------------------------------------------------------------ diagnostics
+    def mixture_density(self) -> np.ndarray:
+        """Total mass density, shape ``(*S,)``."""
+        return self.rho.sum(axis=0)
+
+    def velocity(self) -> np.ndarray:
+        """Physical mixture velocity (with half-force correction),
+        shape ``(D, *S)``."""
+        return mixture_velocity(self.rho, self.mom, self.force)
+
+    def total_mass(self, component: int | None = None) -> float:
+        """Total mass of one component (or all) — conserved by the update."""
+        if component is None:
+            return float(self.rho.sum())
+        return float(self.rho[component].sum())
+
+    def check_health(self, max_velocity: float = 0.4) -> None:
+        """Raise ``FloatingPointError`` if the state went non-finite or the
+        flow became supersonic-ish (|u| approaching lattice sound speed)."""
+        if not np.isfinite(self.f).all():
+            raise FloatingPointError(
+                f"non-finite populations at step {self.step_count}"
+            )
+        u = self.velocity()
+        # Solid nodes transiently hold bounced-back populations whose formal
+        # "velocity" is meaningless; health only concerns fluid nodes.
+        umax = float(np.abs(u[:, self.fluid]).max()) if self.fluid.any() else 0.0
+        if umax > max_velocity:
+            raise FloatingPointError(
+                f"velocity {umax:.3f} exceeds stability bound {max_velocity} "
+                f"at step {self.step_count}"
+            )

@@ -1,0 +1,42 @@
+"""Streaming (propagation) step.
+
+Each population f_k moves one lattice link along its velocity c_k:
+``f_k(x + c_k, t + 1) = f_k(x, t)``.  On a periodic box this is exactly
+``numpy.roll`` along each axis; solid walls are handled afterwards by
+bounce-back, and slab decomposition handles the x-wraparound through ghost
+planes instead (see :mod:`repro.parallel.halo`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lbm.lattice import Lattice
+
+
+def stream(f: np.ndarray, lattice: Lattice) -> None:
+    """Periodic streaming of all populations, in place.
+
+    *f* has shape ``(Q, *S)`` with ``len(S) == lattice.D``.
+    """
+    if f.ndim != 1 + lattice.D:
+        raise ValueError(
+            f"f must have {1 + lattice.D} dims (Q + spatial), got shape {f.shape}"
+        )
+    spatial_axes = tuple(range(lattice.D))
+    for k in range(lattice.Q):
+        ck = lattice.c[k]
+        if not ck.any():
+            continue
+        shift = tuple(int(s) for s in ck)
+        f[k] = np.roll(f[k], shift, axis=spatial_axes)
+
+
+def stream_component_stack(f: np.ndarray, lattice: Lattice) -> None:
+    """Stream a stack of components at once: *f* shape ``(C, Q, *S)``."""
+    if f.ndim != 2 + lattice.D:
+        raise ValueError(
+            f"f must have {2 + lattice.D} dims (C, Q + spatial), got {f.shape}"
+        )
+    for comp in range(f.shape[0]):
+        stream(f[comp], lattice)

@@ -1,0 +1,87 @@
+"""The communicator abstraction.
+
+A tiny MPI subset sufficient for the paper's algorithm: tagged
+point-to-point send/recv between ranks of a fixed-size world, sendrecv
+pairs, barrier and allgather.  Tags keep phases and message kinds apart so
+the lock-step protocol is deterministic regardless of thread scheduling.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class ReceivedMessage:
+    """A delivered message (source rank + payload)."""
+
+    source: int
+    payload: Any
+
+
+class Communicator(ABC):
+    """Point of contact of one rank with the rest of the world."""
+
+    @property
+    @abstractmethod
+    def rank(self) -> int:
+        """This rank's index in [0, size)."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """World size."""
+
+    @abstractmethod
+    def send(self, dest: int, tag: Hashable, payload: Any) -> None:
+        """Asynchronous send (never blocks in this in-process transport)."""
+
+    @abstractmethod
+    def recv(self, source: int, tag: Hashable) -> Any:
+        """Blocking receive of the message with exactly (source, tag)."""
+
+    # ------------------------------------------------------------- derived
+    def sendrecv(
+        self,
+        dest: int,
+        send_payload: Any,
+        source: int,
+        tag: Hashable,
+    ) -> Any:
+        """Send to *dest* and receive from *source* under the same tag —
+        the boundary-exchange primitive of Figure 2 (lines 8 and 14)."""
+        self.send(dest, tag, send_payload)
+        return self.recv(source, tag)
+
+    def exchange_with_neighbours(
+        self,
+        left_payload: Any,
+        right_payload: Any,
+        tag: Hashable,
+    ) -> tuple[Any | None, Any | None]:
+        """Exchange with both linear-array neighbours at once.
+
+        Sends *left_payload* to rank-1 and *right_payload* to rank+1 (when
+        they exist), then receives from both.  Returns
+        ``(from_left, from_right)`` with ``None`` at array ends.
+        """
+        left = self.rank - 1 if self.rank > 0 else None
+        right = self.rank + 1 if self.rank < self.size - 1 else None
+        if left is not None:
+            self.send(left, tag, left_payload)
+        if right is not None:
+            self.send(right, tag, right_payload)
+        from_left = self.recv(left, tag) if left is not None else None
+        from_right = self.recv(right, tag) if right is not None else None
+        return from_left, from_right
+
+    @abstractmethod
+    def barrier(self) -> None:
+        """Block until every rank entered the barrier."""
+
+    @abstractmethod
+    def allgather(self, payload: Any, tag: Hashable) -> list[Any]:
+        """Gather one payload from every rank, in rank order, at every
+        rank (the global scheme's information exchange)."""

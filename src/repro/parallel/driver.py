@@ -1,0 +1,505 @@
+"""The parallel multicomponent LBM driver — Figure 2 of the paper, for real.
+
+Each rank owns an x-slab of the channel (plus ghost planes) and runs, per
+phase: collision, halo exchange of the boundary distribution functions,
+streaming + bounce-back, moment update, halo exchange of the number
+densities, force and velocity computation.  Every ``REMAPPING_INTERVAL``
+phases the ranks exchange load indices with their chain neighbours (or
+allgather for the global scheme), agree on plane transfers using exactly
+the window logic of :mod:`repro.core.policies`, and migrate raw
+population planes.
+
+The transport is the in-process :class:`~repro.parallel.threads.LocalCluster`;
+to make remapping *behaviour* testable without real background jobs, a
+``load_time_fn`` can replace wall-clock measurement as the per-phase load
+index (the physics is unaffected — only the remapping decisions see it).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exchange import proportional_targets
+from repro.core.history import PhaseTimeHistory
+from repro.core.partition import SlicePartition
+from repro.core.policies import (
+    GlobalPolicy,
+    RemappingConfig,
+    window_proposal,
+)
+from repro.lbm.equilibrium import equilibrium
+from repro.lbm.forces import body_force_field, wall_force_field
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.macroscopic import (
+    common_velocity,
+    component_density,
+    component_momentum,
+    mixture_velocity,
+)
+from repro.lbm.shan_chen import interaction_force
+from repro.lbm.solver import LBMConfig
+from repro.lbm.streaming import stream
+from repro.lbm.boundary import bounce_back
+from repro.parallel.api import Communicator
+from repro.parallel.decomposition import SlabDecomposition
+from repro.parallel.halo import HaloExchanger
+from repro.parallel.migration import pack_planes, unpack_planes
+from repro.parallel.threads import run_spmd
+from repro.util.validation import check_integer
+
+#: Load-index hook: (rank, phase, points) -> seconds.
+LoadTimeFn = Callable[[int, int, int], float]
+
+
+@dataclass
+class ParallelRunResult:
+    """What one rank reports back after a run."""
+
+    rank: int
+    f_interior: np.ndarray
+    plane_count: int
+    plane_history: list[int]
+    comp_times: list[float]
+    planes_sent: int
+    planes_received: int
+    mass: float
+
+
+class ParallelLBM:
+    """One rank's share of the parallel multicomponent LBM."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        config: LBMConfig,
+        initial_counts: list[int],
+        *,
+        policy: str = "filtered",
+        remap_config: RemappingConfig | None = None,
+        load_time_fn: LoadTimeFn | None = None,
+    ):
+        if len(initial_counts) != comm.size:
+            raise ValueError(
+                f"initial_counts must list {comm.size} entries, got "
+                f"{len(initial_counts)}"
+            )
+        if sum(initial_counts) != config.geometry.shape[0]:
+            raise ValueError(
+                "initial plane counts must sum to the global x extent"
+            )
+        self.comm = comm
+        self.config = config
+        self.policy_name = policy
+        self.remap_config = remap_config or RemappingConfig()
+        self.load_time_fn = load_time_fn
+        self.decomp = SlabDecomposition(initial_counts)
+
+        lat = config.lattice
+        geo = config.geometry
+        self.cross = geo.shape[1:]
+        self.plane_points = int(np.prod(self.cross))
+        self.halo = HaloExchanger(lat, comm)
+        self.history = PhaseTimeHistory(self.remap_config.history)
+
+        # Cross-section patterns (walls are x-invariant: axis 0 is periodic).
+        thin_geo = ChannelGeometry(
+            (1, *self.cross),
+            wall_axes=geo.wall_axes,
+            wall_thickness=geo.wall_thickness,
+        )
+        self._solid_pattern = thin_geo.solid_mask()  # (1, *cross)
+        self._fluid_pattern = ~self._solid_pattern
+        n_comp = config.n_components
+        self._accel = np.zeros((n_comp, lat.D, 1, *self.cross))
+        if config.wall_force is not None:
+            target = config.component_index(config.wall_force.component)
+            self._accel[target] += wall_force_field(thin_geo, config.wall_force)
+        if config.body_acceleration is not None:
+            body = body_force_field(thin_geo, config.body_acceleration)
+            for ci in range(n_comp):
+                self._accel[ci] += body
+
+        self.taus = np.array([c.tau for c in config.components])
+        ln = self.decomp.planes(comm.rank)
+        shape = (ln + 2, *self.cross)
+        self.f = np.zeros((n_comp, lat.Q, *shape))
+        zero_u = np.zeros((lat.D, *shape))
+        fluid3 = np.broadcast_to(self._fluid_pattern, shape)
+        for ci, comp in enumerate(config.components):
+            rho0 = np.where(fluid3, comp.rho_init / comp.mass, 0.0)
+            equilibrium(rho0, zero_u, lat, out=self.f[ci])
+            self.f[ci, :, 0] = 0.0
+            self.f[ci, :, -1] = 0.0
+
+        self._alloc_state()
+        self.phase = 0
+        self.planes_sent = 0
+        self.planes_received = 0
+        self.plane_history: list[int] = [ln]
+        self.comp_times: list[float] = []
+        self._moments_and_forces(("init", 0))
+
+    # ----------------------------------------------------------- state mgmt
+    @property
+    def local_planes(self) -> int:
+        return self.f.shape[2] - 2
+
+    def _alloc_state(self) -> None:
+        """(Re)allocate the derived fields for the current slab size."""
+        lat = self.config.lattice
+        n_comp = self.config.n_components
+        shape = self.f.shape[2:]
+        self.rho = np.zeros((n_comp, *shape))
+        self.mom = np.zeros((n_comp, lat.D, *shape))
+        self.force = np.zeros_like(self.mom)
+        self.u_eq = np.zeros_like(self.mom)
+        self._feq = np.zeros((lat.Q, *shape))
+        # Interior-only collide mask (ghosts excluded); psi keeps the
+        # cross-section fluid pattern on ghosts (their densities are real
+        # neighbour data needed by the S-C force).
+        fluid3 = np.broadcast_to(self._fluid_pattern, shape).copy()
+        self._psi_mask = fluid3.astype(np.float64)
+        collide_mask = fluid3.copy()
+        collide_mask[0] = False
+        collide_mask[-1] = False
+        self._collide_mask = collide_mask.astype(np.float64)
+        self._solid3 = np.broadcast_to(self._solid_pattern, shape).copy()
+
+    # -------------------------------------------------------------- physics
+    def _collide(self) -> None:
+        lat = self.config.lattice
+        for ci, comp in enumerate(self.config.components):
+            feq = equilibrium(
+                self.rho[ci] / comp.mass, self.u_eq[ci], lat, out=self._feq
+            )
+            feq -= self.f[ci]
+            feq *= (1.0 / comp.tau) * self._collide_mask
+            self.f[ci] += feq
+
+    def _stream_and_bounce(self) -> None:
+        lat = self.config.lattice
+        for ci in range(self.config.n_components):
+            stream(self.f[ci], lat)
+            bounce_back(self.f[ci], self._solid3, lat)
+
+    def _moments_and_forces(self, tag: object) -> None:
+        """Moment update + density halo + force/velocity computation (the
+        second half of a phase; also rerun after migration)."""
+        lat = self.config.lattice
+        cfg = self.config
+        for ci, comp in enumerate(cfg.components):
+            self.rho[ci] = component_density(self.f[ci], comp.mass)
+            self.mom[ci] = component_momentum(self.f[ci], lat, comp.mass)
+        self.halo.exchange_scalar(self.rho, tag, "halo_rho")
+
+        psis = np.stack(
+            [cfg.psi(self.rho[ci]) for ci in range(cfg.n_components)]
+        )
+        psis *= self._psi_mask
+        sc = interaction_force(psis, cfg.g_matrix, lat)
+        self.force[:] = sc
+        self.force += self._accel * self.rho[:, None]
+
+        u_common = common_velocity(self.rho, self.mom, self.taus)
+        for ci, comp in enumerate(cfg.components):
+            safe_rho = np.maximum(self.rho[ci], 1e-300)
+            self.u_eq[ci] = u_common + comp.tau * self.force[ci] / safe_rho
+            self.u_eq[ci] *= self._collide_mask
+
+    def step_phase(self) -> float:
+        """One full phase; returns the load-index sample for this phase."""
+        t0 = time.perf_counter()
+        self._collide()
+        t_compute = time.perf_counter() - t0
+
+        self.halo.exchange_f(self.f, self.phase)
+
+        t1 = time.perf_counter()
+        self._stream_and_bounce()
+        self._moments_and_forces(self.phase)
+        t_compute += time.perf_counter() - t1
+
+        self.phase += 1
+        if self.load_time_fn is not None:
+            sample = self.load_time_fn(
+                self.comm.rank, self.phase, self.local_planes * self.plane_points
+            )
+        else:
+            sample = max(t_compute, 1e-9)
+        self.comp_times.append(sample)
+        self.history.record(sample)
+        return sample
+
+    # ------------------------------------------------------------ remapping
+    def _predicted_time(self) -> float:
+        return self.remap_config.predictor.predict(self.history)
+
+    def maybe_remap(self) -> None:
+        """Run the remapping protocol if this phase sits on the interval
+        boundary (call after :meth:`step_phase`)."""
+        if self.policy_name == "no-remap":
+            return
+        if self.phase % self.remap_config.interval != 0:
+            return
+        if self.policy_name == "global":
+            self._remap_global()
+        else:
+            self._remap_local()
+        self.plane_history.append(self.local_planes)
+
+    def _remap_local(self) -> None:
+        """Distributed conservative/filtered remapping: neighbour load-index
+        exchange, window proposals, per-edge conflict netting, migration."""
+        comm = self.comm
+        rank, size = comm.rank, comm.size
+        if size == 1:
+            return
+        rnd = self.phase
+        my_points = self.local_planes * self.plane_points
+        my_time = self._predicted_time()
+
+        # 1. Load-index exchange with chain neighbours.
+        payload = (my_points, my_time)
+        left = rank - 1 if rank > 0 else None
+        right = rank + 1 if rank < size - 1 else None
+        if left is not None:
+            comm.send(left, ("loadidx", rnd, "L"), payload)
+        if right is not None:
+            comm.send(right, ("loadidx", rnd, "R"), payload)
+        info_left = comm.recv(left, ("loadidx", rnd, "R")) if left is not None else None
+        info_right = (
+            comm.recv(right, ("loadidx", rnd, "L")) if right is not None else None
+        )
+
+        # 2. Window proposals (same code the centralized policy runs).
+        window: list[tuple[int, float]] = []
+        my_idx = 0
+        if info_left is not None:
+            window.append(info_left)
+            my_idx = 1
+        window.append(payload)
+        if info_right is not None:
+            window.append(info_right)
+        counts = np.array([w[0] for w in window], dtype=np.float64)
+        times = np.array([w[1] for w in window], dtype=np.float64)
+        speeds = counts / times
+        threshold = self.remap_config.threshold_points_for(self.plane_points)
+        filtered = self.policy_name == "filtered"
+
+        def propose(local_j: int) -> float:
+            return window_proposal(
+                counts,
+                speeds,
+                my_idx,
+                local_j,
+                self.remap_config,
+                threshold,
+                filtered=filtered,
+            )
+
+        give_left_pts = propose(my_idx - 1) if info_left is not None else 0.0
+        give_right_pts = propose(my_idx + 1) if info_right is not None else 0.0
+
+        # 3. Conflict resolution: exchange proposals per edge and net them.
+        if left is not None:
+            comm.send(left, ("proposal", rnd, "L"), give_left_pts)
+        if right is not None:
+            comm.send(right, ("proposal", rnd, "R"), give_right_pts)
+        opposing_left = (
+            comm.recv(left, ("proposal", rnd, "R")) if left is not None else 0.0
+        )
+        opposing_right = (
+            comm.recv(right, ("proposal", rnd, "L")) if right is not None else 0.0
+        )
+        # Net flow on my left edge (positive: I send leftward) and right
+        # edge (positive: I send rightward); both endpoints compute the
+        # same values from the same two proposals.
+        net_left = give_left_pts - opposing_left
+        net_right = give_right_pts - opposing_right
+        out_left = int(net_left // self.plane_points) if net_left > 0 else 0
+        out_right = int(net_right // self.plane_points) if net_right > 0 else 0
+        in_left = int((-net_left) // self.plane_points) if net_left < 0 else 0
+        in_right = int((-net_right) // self.plane_points) if net_right < 0 else 0
+
+        # 4. Clamp own outflows so at least one interior plane stays.
+        max_out = self.local_planes - 1
+        total_out = out_left + out_right
+        if total_out > max_out:
+            need = total_out - max_out
+            cut_right = min(out_right, -(-need * out_right // max(total_out, 1)))
+            cut_left = min(out_left, need - cut_right)
+            out_right -= cut_right
+            out_left -= cut_left
+
+        # 5. Migration (senders include the package; receivers always get a
+        # message when the netting said a transfer is due, possibly empty
+        # because of the sender's clamp).
+        if out_left > 0 or (left is not None and net_left > 0):
+            package = None
+            if out_left > 0:
+                package, self.f = pack_planes(self.f, "left", out_left)
+                self._after_resize(-out_left)
+                self.planes_sent += out_left
+            comm.send(left, ("migrate", rnd, "L"), package)
+        if out_right > 0 or (right is not None and net_right > 0):
+            package = None
+            if out_right > 0:
+                package, self.f = pack_planes(self.f, "right", out_right)
+                self._after_resize(-out_right)
+                self.planes_sent += out_right
+            comm.send(right, ("migrate", rnd, "R"), package)
+        if in_left > 0:
+            package = comm.recv(left, ("migrate", rnd, "R"))
+            if package is not None:
+                self.f = unpack_planes(self.f, package, "left")
+                self._after_resize(package.shape[2])
+                self.planes_received += package.shape[2]
+        if in_right > 0:
+            package = comm.recv(right, ("migrate", rnd, "L"))
+            if package is not None:
+                self.f = unpack_planes(self.f, package, "right")
+                self._after_resize(package.shape[2])
+                self.planes_received += package.shape[2]
+
+        # 6. Refresh derived state for the (possibly) new slab.
+        self._moments_and_forces(("post_remap", rnd))
+
+    def _remap_global(self) -> None:
+        """Global scheme: allgather load indices, every rank evaluates the
+        same proportional-target decision, then pairwise edge migrations."""
+        comm = self.comm
+        rank, size = comm.rank, comm.size
+        if size == 1:
+            return
+        rnd = self.phase
+        my_planes = self.local_planes
+        gathered = comm.allgather(
+            (my_planes, self._predicted_time()), ("remap_global", rnd)
+        )
+        counts = [g[0] for g in gathered]
+        times = np.array([g[1] for g in gathered])
+        partition = SlicePartition(counts, self.plane_points)
+        flows = GlobalPolicy(self.remap_config).decide(partition, times)
+
+        # Apply this rank's edges, left first (matching flow semantics:
+        # flows[e] planes go from rank e to rank e+1).
+        if rank > 0:
+            flow = int(flows[rank - 1])
+            if flow > 0:  # receiving from the left
+                package = comm.recv(rank - 1, ("migrate", rnd, "R"))
+                self.f = unpack_planes(self.f, package, "left")
+                self._after_resize(package.shape[2])
+                self.planes_received += package.shape[2]
+            elif flow < 0:  # sending leftward
+                package, self.f = pack_planes(self.f, "left", -flow)
+                self._after_resize(flow)
+                self.planes_sent += -flow
+                comm.send(rank - 1, ("migrate", rnd, "L"), package)
+        if rank < size - 1:
+            flow = int(flows[rank])
+            if flow > 0:  # sending rightward
+                package, self.f = pack_planes(self.f, "right", flow)
+                self._after_resize(-flow)
+                self.planes_sent += flow
+                comm.send(rank + 1, ("migrate", rnd, "R"), package)
+            elif flow < 0:  # receiving from the right
+                package = comm.recv(rank + 1, ("migrate", rnd, "L"))
+                self.f = unpack_planes(self.f, package, "right")
+                self._after_resize(package.shape[2])
+                self.planes_received += package.shape[2]
+        self._moments_and_forces(("post_remap", rnd))
+
+    def _after_resize(self, delta: int) -> None:
+        self.decomp.adjust(self.comm.rank, delta)
+        self._alloc_state()
+
+    # ------------------------------------------------------------------ run
+    def run(self, phases: int) -> ParallelRunResult:
+        check_integer(phases, "phases", minimum=1)
+        for _ in range(phases):
+            self.step_phase()
+            self.maybe_remap()
+        interior = np.ascontiguousarray(self.f[:, :, 1:-1])
+        return ParallelRunResult(
+            rank=self.comm.rank,
+            f_interior=interior,
+            plane_count=self.local_planes,
+            plane_history=self.plane_history,
+            comp_times=self.comp_times,
+            planes_sent=self.planes_sent,
+            planes_received=self.planes_received,
+            mass=float(
+                sum(
+                    comp.mass * interior[ci].sum()
+                    for ci, comp in enumerate(self.config.components)
+                )
+            ),
+        )
+
+
+def run_parallel_lbm(
+    n_ranks: int,
+    config: LBMConfig,
+    phases: int,
+    *,
+    policy: str = "filtered",
+    remap_config: RemappingConfig | None = None,
+    load_time_fn: LoadTimeFn | None = None,
+    initial_counts: list[int] | None = None,
+    timeout: float = 600.0,
+) -> list[ParallelRunResult]:
+    """Run the parallel LBM on an in-process cluster of *n_ranks* threads.
+
+    Returns the per-rank results in rank order; use
+    :func:`assemble_global_f` to reconstruct the global field.
+    """
+    total_planes = config.geometry.shape[0]
+    if initial_counts is None:
+        base, extra = divmod(total_planes, n_ranks)
+        if base < 1:
+            raise ValueError("more ranks than planes")
+        initial_counts = [base + (1 if r < extra else 0) for r in range(n_ranks)]
+
+    def rank_main(comm: Communicator) -> ParallelRunResult:
+        driver = ParallelLBM(
+            comm,
+            config,
+            list(initial_counts),
+            policy=policy,
+            remap_config=remap_config,
+            load_time_fn=load_time_fn,
+        )
+        return driver.run(phases)
+
+    return run_spmd(n_ranks, rank_main, timeout=timeout)
+
+
+def assemble_global_f(results: list[ParallelRunResult]) -> np.ndarray:
+    """Concatenate per-rank interiors back into the global population
+    array ``(C, Q, nx, *cross)`` (rank order = x order)."""
+    ordered = sorted(results, key=lambda r: r.rank)
+    return np.concatenate([r.f_interior for r in ordered], axis=2)
+
+
+def solver_from_results(
+    results: list[ParallelRunResult], config: LBMConfig
+) -> "object":
+    """Build a sequential solver holding the parallel run's final state,
+    so the full :mod:`repro.lbm.diagnostics` toolbox (profiles, slip
+    measures, exporters) applies to parallel output directly."""
+    from repro.lbm.solver import MulticomponentLBM
+
+    f_global = assemble_global_f(results)
+    solver = MulticomponentLBM(config)
+    if f_global.shape != solver.f.shape:
+        raise ValueError(
+            f"assembled field shape {f_global.shape} does not match the "
+            f"configuration's {solver.f.shape}"
+        )
+    solver.f[:] = f_global
+    solver.update_moments_and_forces()
+    return solver

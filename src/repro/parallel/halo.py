@@ -1,0 +1,73 @@
+"""Halo (ghost-plane) exchange.
+
+Per phase the parallel LBM synchronizes twice (Figure 2):
+
+- line 8: the distribution functions about to stream across the slab
+  boundary — exactly the populations with ``c_x > 0`` travel to the right
+  neighbour and those with ``c_x < 0`` to the left (the paper's direction
+  groups 1..5 / 2..6 for its D3Q19 numbering);
+- line 14: the number densities of both components, needed by the
+  Shan-Chen interaction force at boundary planes.
+
+The halo topology is a ring (periodic x); a world of size 1 wraps its own
+planes locally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lbm.lattice import Lattice
+from repro.parallel.api import Communicator
+
+
+class HaloExchanger:
+    """Fills the ghost planes of one rank's slab arrays."""
+
+    def __init__(self, lattice: Lattice, comm: Communicator):
+        self.lattice = lattice
+        self.comm = comm
+        self.right_dirs = lattice.directions_with(0, +1)
+        self.left_dirs = lattice.directions_with(0, -1)
+
+    # ----------------------------------------------------------------- f
+    def exchange_f(self, f: np.ndarray, phase: int) -> None:
+        """Fill the x-ghost planes of *f* (shape ``(C, Q, ln+2, *cross)``)
+        with the neighbour populations that will stream in, in place."""
+        comm = self.comm
+        send_right = np.ascontiguousarray(f[:, self.right_dirs, -2])
+        send_left = np.ascontiguousarray(f[:, self.left_dirs, 1])
+        if comm.size == 1:
+            f[:, self.right_dirs, 0] = send_right
+            f[:, self.left_dirs, -1] = send_left
+            return
+        left = (comm.rank - 1) % comm.size
+        right = (comm.rank + 1) % comm.size
+        # Direction-specific tags: with 2 ranks the left and right
+        # neighbour are the same peer, so the two messages must not alias.
+        comm.send(right, ("halo_f", phase, "R"), send_right)
+        comm.send(left, ("halo_f", phase, "L"), send_left)
+        from_left = comm.recv(left, ("halo_f", phase, "R"))
+        from_right = comm.recv(right, ("halo_f", phase, "L"))
+        f[:, self.right_dirs, 0] = from_left
+        f[:, self.left_dirs, -1] = from_right
+
+    # --------------------------------------------------------------- rho
+    def exchange_scalar(self, field: np.ndarray, phase: int, kind: str) -> None:
+        """Fill the x-ghost planes of a per-component scalar field (shape
+        ``(C, ln+2, *cross)``), e.g. the number densities, in place."""
+        comm = self.comm
+        send_right = np.ascontiguousarray(field[:, -2])
+        send_left = np.ascontiguousarray(field[:, 1])
+        if comm.size == 1:
+            field[:, 0] = send_right
+            field[:, -1] = send_left
+            return
+        left = (comm.rank - 1) % comm.size
+        right = (comm.rank + 1) % comm.size
+        comm.send(right, (kind, phase, "R"), send_right)
+        comm.send(left, (kind, phase, "L"), send_left)
+        from_left = comm.recv(left, (kind, phase, "R"))
+        from_right = comm.recv(right, (kind, phase, "L"))
+        field[:, 0] = from_left
+        field[:, -1] = from_right

@@ -1,0 +1,75 @@
+"""Plane migration: serializing lattice planes for transfer between ranks.
+
+A migration package carries the raw populations of *k* contiguous interior
+planes taken from one side of a slab.  Moments, forces and equilibrium
+velocities are recomputed by the receiver (cheaper than shipping them, and
+it keeps a single source of truth).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pack_planes(f: np.ndarray, side: str, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Split *k* interior planes off the given side of a padded slab.
+
+    Parameters
+    ----------
+    f:
+        Local populations, shape ``(C, Q, ln+2, *cross)`` with ghost planes
+        at x-index 0 and -1.
+    side:
+        ``"left"`` takes the lowest-x interior planes (to send to the left
+        neighbour), ``"right"`` the highest-x ones.
+    k:
+        Number of planes to extract (1 <= k <= ln - 1; a rank always keeps
+        at least one interior plane).
+
+    Returns
+    -------
+    (package, remainder): the extracted planes ``(C, Q, k, *cross)`` and a
+    new padded slab with fresh (zeroed) ghost planes — ghosts are refilled
+    by the next halo exchange before use.
+    """
+    interior = f[:, :, 1:-1]
+    ln = interior.shape[2]
+    if side not in ("left", "right"):
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    if not 1 <= k <= ln - 1:
+        raise ValueError(f"cannot extract {k} of {ln} interior planes")
+    if side == "left":
+        package = np.ascontiguousarray(interior[:, :, :k])
+        keep = interior[:, :, k:]
+    else:
+        package = np.ascontiguousarray(interior[:, :, ln - k:])
+        keep = interior[:, :, : ln - k]
+    remainder = _pad_with_ghosts(keep)
+    return package, remainder
+
+
+def unpack_planes(f: np.ndarray, package: np.ndarray, side: str) -> np.ndarray:
+    """Attach received planes to the given side of a padded slab; returns a
+    new padded slab (ghosts zeroed, refilled at the next halo exchange)."""
+    interior = f[:, :, 1:-1]
+    if side not in ("left", "right"):
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    if package.shape[:2] != interior.shape[:2] or package.shape[3:] != interior.shape[3:]:
+        raise ValueError(
+            f"package shape {package.shape} incompatible with slab "
+            f"{interior.shape}"
+        )
+    if side == "left":
+        merged = np.concatenate([package, interior], axis=2)
+    else:
+        merged = np.concatenate([interior, package], axis=2)
+    return _pad_with_ghosts(merged)
+
+
+def _pad_with_ghosts(interior: np.ndarray) -> np.ndarray:
+    """Wrap an interior block with zeroed ghost planes on the x axis."""
+    shape = list(interior.shape)
+    shape[2] += 2
+    padded = np.zeros(shape, dtype=interior.dtype)
+    padded[:, :, 1:-1] = interior
+    return padded

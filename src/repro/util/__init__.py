@@ -1,0 +1,22 @@
+"""Shared utilities: validation, seeded RNG helpers, ASCII tables, timers."""
+
+from repro.util.validation import (
+    check_positive,
+    check_nonnegative,
+    check_in_range,
+    check_probability,
+    check_integer,
+)
+from repro.util.tables import format_table
+from repro.util.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_probability",
+    "check_integer",
+    "format_table",
+    "make_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,35 @@
+"""Deterministic random-number-generator plumbing.
+
+All stochastic pieces of the library (workload generators, spike schedules)
+take an explicit ``numpy.random.Generator`` or an integer seed.  Nothing in
+the library touches global RNG state, so every experiment is reproducible
+from its seed alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce *seed* into a ``numpy.random.Generator``.
+
+    Passing an existing generator returns it unchanged (shared stream);
+    passing ``None`` creates an unseeded generator (non-reproducible, only
+    appropriate for interactive exploration).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | None, n: int) -> list[np.random.Generator]:
+    """Create *n* independent child generators from one parent seed.
+
+    Uses ``SeedSequence.spawn`` so the children's streams are statistically
+    independent regardless of how many draws each consumes.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

@@ -1,0 +1,57 @@
+"""Plain-text table formatting for experiment reports.
+
+The experiment harness prints the same rows/series the paper reports; this
+module renders them as aligned ASCII tables so ``bench_output.txt`` and
+EXPERIMENTS.md stay readable without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+
+def format_cell(value: Any, float_fmt: str = "{:.3f}") -> str:
+    """Render one table cell: floats via *float_fmt*, everything else via str."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Format *rows* under *headers* as an aligned ASCII table.
+
+    Every row must have the same number of columns as *headers*; a mismatch
+    raises ``ValueError`` (it is always a bug in the caller's report code).
+    """
+    str_rows: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} columns, expected {len(headers)}"
+            )
+        str_rows.append([format_cell(v, float_fmt) for v in row])
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_line(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Small timing helpers for harness code and examples."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch::
+
+        with Timer() as t:
+            work()
+        print(t.elapsed)
+
+    Re-entering restarts the clock; *elapsed* keeps the last lap and
+    *total* accumulates across laps.
+    """
+
+    elapsed: float = 0.0
+    total: float = 0.0
+    laps: int = 0
+    _start: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._start is None:
+            raise RuntimeError("Timer exited without entering")
+        self.elapsed = time.perf_counter() - self._start
+        self.total += self.elapsed
+        self.laps += 1
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean lap duration (0 before any lap completes)."""
+        return self.total / self.laps if self.laps else 0.0
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration: ``431.2ms``, ``12.3s``, ``4m08s``,
+    ``2h31m``."""
+    if seconds < 0:
+        raise ValueError(f"duration must be >= 0, got {seconds}")
+    if seconds < 1.0:
+        return f"{seconds * 1000:.1f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(seconds, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m{secs:02.0f}s"
+    hours, minutes = divmod(minutes, 60.0)
+    return f"{int(hours)}h{int(minutes):02d}m"

@@ -1,0 +1,71 @@
+"""Argument-validation helpers used across the library.
+
+Every public constructor validates eagerly so that configuration errors
+surface at object-creation time rather than deep inside a simulation loop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return *value* if it is a finite number > 0, else raise ``ValueError``."""
+    value = _check_finite_number(value, name)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Return *value* if it is a finite number >= 0, else raise ``ValueError``."""
+    value = _check_finite_number(value, name)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Return *value* if it lies in [low, high] (or (low, high))."""
+    value = _check_finite_number(value, name)
+    if inclusive:
+        if not (low <= value <= high):
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    else:
+        if not (low < value < high):
+            raise ValueError(f"{name} must be in ({low}, {high}), got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return *value* if it is a valid probability / fraction in [0, 1]."""
+    return check_in_range(value, name, 0.0, 1.0)
+
+
+def check_integer(value: Any, name: str, *, minimum: int | None = None) -> int:
+    """Return *value* as ``int`` if integral (bools rejected), else raise."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        # Accept integral floats like 3.0 coming from config files.
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        else:
+            raise TypeError(f"{name} must be an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value!r}")
+    return int(value)
+
+
+def _check_finite_number(value: Any, name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a number, got {value!r}")
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return float(value)

@@ -1,0 +1,95 @@
+"""The closed-form performance model, cross-validated against the
+simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.analysis import (
+    expected_speedup,
+    makespan_evacuated,
+    makespan_no_remapping,
+    makespan_proportional,
+    paper_sanity_check,
+    phase_sync_overhead,
+)
+from repro.cluster.costmodel import PAPER_COST_MODEL
+from repro.cluster.machine import paper_cluster
+from repro.cluster.simulator import simulate
+from repro.cluster.workload import dedicated_traces, fixed_slow_traces
+from repro.core.policies import make_policy
+
+N_POINTS = 1_600_000
+DEDICATED = [1.0] * 20
+ONE_SLOW = [1.0] * 19 + [0.35]
+
+
+class TestClosedForms:
+    def test_dedicated_makespan_matches_paper(self):
+        m = makespan_no_remapping(N_POINTS, DEDICATED, PAPER_COST_MODEL)
+        assert m * 600 == pytest.approx(251.0, rel=0.02)
+
+    def test_one_slow_makespan_matches_paper(self):
+        m = makespan_no_remapping(N_POINTS, ONE_SLOW, PAPER_COST_MODEL)
+        assert m * 600 == pytest.approx(717.0, rel=0.03)
+
+    def test_evacuated_between_dedicated_and_slow(self):
+        sanity = paper_sanity_check(PAPER_COST_MODEL)
+        assert (
+            sanity["dedicated"]
+            < sanity["filtered_one_slow"]
+            < sanity["no_remap_one_slow"]
+        )
+
+    def test_proportional_is_lower_bound(self):
+        sanity = paper_sanity_check(PAPER_COST_MODEL)
+        assert sanity["proportional_one_slow"] <= sanity["filtered_one_slow"]
+
+    def test_expected_speedup_dedicated(self):
+        m = makespan_no_remapping(N_POINTS, DEDICATED, PAPER_COST_MODEL)
+        s = expected_speedup(m, N_POINTS, PAPER_COST_MODEL)
+        assert 18.0 < s < 20.0
+
+    def test_sync_overhead_positive(self):
+        assert 0.02 < phase_sync_overhead(PAPER_COST_MODEL) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            makespan_no_remapping(N_POINTS, [], PAPER_COST_MODEL)
+        with pytest.raises(ValueError):
+            makespan_proportional(N_POINTS, [0.0, 1.0], PAPER_COST_MODEL)
+
+
+class TestCrossValidation:
+    """The algebra must predict the simulator's steady states."""
+
+    def test_dedicated_simulation_matches_model(self):
+        predicted = makespan_no_remapping(N_POINTS, DEDICATED, PAPER_COST_MODEL)
+        result = simulate(
+            paper_cluster(dedicated_traces(20)), make_policy("no-remap"), 300
+        )
+        assert result.total_time / 300 == pytest.approx(predicted, rel=0.02)
+
+    def test_one_slow_simulation_matches_model(self):
+        predicted = makespan_no_remapping(N_POINTS, ONE_SLOW, PAPER_COST_MODEL)
+        result = simulate(
+            paper_cluster(fixed_slow_traces(20, [9])),
+            make_policy("no-remap"),
+            300,
+        )
+        assert result.total_time / 300 == pytest.approx(predicted, rel=0.03)
+
+    def test_filtered_steady_state_bounded_by_model(self):
+        """After convergence, the filtered scheme's makespan sits between
+        the proportional lower bound and ~1.3x the ideal evacuation."""
+        lower = makespan_proportional(N_POINTS, ONE_SLOW, PAPER_COST_MODEL)
+        ideal = makespan_evacuated(N_POINTS, ONE_SLOW, PAPER_COST_MODEL)
+        from repro.cluster.simulator import PhaseSimulator
+
+        sim = PhaseSimulator(
+            paper_cluster(fixed_slow_traces(20, [9])),
+            make_policy("filtered"),
+            record_timeline=True,
+        )
+        result = sim.run(400)
+        steady = float(np.median(result.phase_makespans[-50:]))
+        assert lower * 0.95 <= steady <= 1.35 * ideal

@@ -1,0 +1,39 @@
+import pytest
+
+from repro.cluster.machine import ClusterSpec, paper_cluster
+from repro.cluster.workload import dedicated_traces
+
+
+class TestClusterSpec:
+    def test_defaults_are_paper(self):
+        spec = ClusterSpec()
+        assert spec.n_nodes == 20
+        assert spec.total_planes == 400
+        assert spec.plane_points == 4000
+        assert spec.total_points == 1_600_000  # 400 x 200 x 20
+        assert spec.average_points == 80_000
+
+    def test_traces_defaulted(self):
+        spec = ClusterSpec(n_nodes=3)
+        assert len(spec.traces) == 3
+        assert spec.traces[0].availability(0.0) == 1.0
+
+    def test_trace_count_checked(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(n_nodes=3, traces=dedicated_traces(2))
+
+    def test_planes_at_least_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(n_nodes=10, total_planes=5)
+
+
+class TestPaperCluster:
+    def test_default_shape(self):
+        spec = paper_cluster()
+        assert spec.total_planes == 400
+        assert spec.plane_points == 4000
+
+    def test_node_count_override(self):
+        spec = paper_cluster(None, n_nodes=10)
+        assert spec.n_nodes == 10
+        assert len(spec.traces) == 10

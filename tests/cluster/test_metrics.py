@@ -1,0 +1,52 @@
+import pytest
+
+from repro.cluster.costmodel import PAPER_COST_MODEL
+from repro.cluster.metrics import (
+    normalized_efficiency,
+    overhead_percent,
+    sequential_time,
+    slowdown_ratio,
+    speedup,
+)
+
+
+class TestSequentialTime:
+    def test_paper_sequential(self):
+        t = sequential_time(400 * 200 * 20, 20_000, PAPER_COST_MODEL)
+        assert t == pytest.approx(43.56 * 3600, rel=0.01)
+
+    def test_zero_phases(self):
+        assert sequential_time(100, 0, PAPER_COST_MODEL) == 0.0
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(100.0, 5.0) == 20.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 5.0)
+        with pytest.raises(ValueError):
+            speedup(5.0, 0.0)
+
+
+class TestNormalizedEfficiency:
+    def test_paper_formula(self):
+        # speedup / (20 - 0.7 m)
+        assert normalized_efficiency(16.0, 20, 1) == pytest.approx(16 / 19.3)
+        assert normalized_efficiency(13.0, 20, 5) == pytest.approx(13 / 16.5)
+
+    def test_dedicated(self):
+        assert normalized_efficiency(19.0, 20, 0) == pytest.approx(0.95)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalized_efficiency(10.0, 5, 6)
+
+
+class TestSlowdown:
+    def test_ratio(self):
+        assert slowdown_ratio(120.0, 100.0) == pytest.approx(0.2)
+
+    def test_overhead_percent(self):
+        assert overhead_percent(717.0, 251.0) == pytest.approx(185.66, rel=0.01)

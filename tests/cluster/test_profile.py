@@ -1,0 +1,41 @@
+import numpy as np
+import pytest
+
+from repro.cluster.profile import NodeProfile
+
+
+class TestNodeProfile:
+    def test_accumulates(self):
+        p = NodeProfile(3)
+        p.add_computation(0, 1.0)
+        p.add_computation(0, 2.0)
+        p.add_communication(1, 4.0)
+        p.add_remapping(2, 0.5)
+        assert p.computation[0] == 3.0
+        assert p.communication[1] == 4.0
+        assert p.remapping[2] == 0.5
+
+    def test_total(self):
+        p = NodeProfile(2)
+        p.add_computation(0, 1.0)
+        p.add_communication(0, 2.0)
+        p.add_remapping(0, 3.0)
+        assert p.total(0) == 6.0
+        assert p.total(1) == 0.0
+
+    def test_totals_vector(self):
+        p = NodeProfile(2)
+        p.add_computation(1, 5.0)
+        assert np.allclose(p.totals(), [0.0, 5.0])
+
+    def test_table_renders(self):
+        p = NodeProfile(2)
+        p.add_computation(0, 1.0)
+        table = p.to_table(title="hi")
+        assert "hi" in table
+        assert "comp (s)" in table
+        assert table.count("\n") >= 3
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            NodeProfile(0)

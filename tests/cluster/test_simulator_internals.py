@@ -1,0 +1,111 @@
+"""Unit tests of the phase engine's pieces (beyond the end-to-end runs)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import ClusterSpec, paper_cluster
+from repro.cluster.simulator import PhaseSimulator
+from repro.cluster.workload import dedicated_traces, fixed_slow_traces
+from repro.core.policies import make_policy
+
+
+def make_sim(traces=None, policy="no-remap", **kw):
+    spec = paper_cluster(traces, **kw)
+    return PhaseSimulator(spec, make_policy(policy))
+
+
+class TestSyncNeighbours:
+    def test_everyone_waits_for_late_neighbour(self):
+        sim = make_sim()
+        ready = np.zeros(20)
+        ready[9] = 5.0
+        ratios = np.ones(20)
+        done = sim._sync_neighbours(ready, 1000.0, ratios)
+        # Direct neighbours of 9 are dragged to at least 5.0 + cost...
+        assert done[8] > 5.0 and done[10] > 5.0
+        # ...but distant nodes are not (the ripple takes phases to spread).
+        assert done[0] < 1.0
+
+    def test_single_node_world_no_sync(self):
+        spec = ClusterSpec(n_nodes=1, total_planes=4, plane_points=10)
+        sim = PhaseSimulator(spec, make_policy("no-remap"))
+        ready = np.array([3.0])
+        done = sim._sync_neighbours(ready, 1000.0, np.ones(1))
+        assert done[0] == 3.0
+
+    def test_cost_added_on_every_edge(self):
+        sim = make_sim()
+        ready = np.zeros(20)
+        done = sim._sync_neighbours(ready, 0.0, np.ones(20))
+        per_msg = sim.spec.cost_model.per_message_overhead
+        assert np.allclose(done, per_msg + sim.spec.cost_model.latency)
+
+
+class TestComputeChunk:
+    def test_work_proportional_to_planes(self):
+        sim = make_sim()
+        sim.partition.apply_edge_flows([5] + [0] * 18)  # node 1 gets +5
+        start = np.zeros(20)
+        out = sim._compute_chunk(start, 1.0)
+        assert out[1] > out[0]
+
+    def test_slow_node_takes_longer(self):
+        sim = make_sim(fixed_slow_traces(20, [9]))
+        out = sim._compute_chunk(np.zeros(20), 1.0)
+        assert out[9] == pytest.approx(out[0] / 0.35, rel=1e-6)
+
+
+class TestRippleDynamics:
+    def test_ripple_spreads_phase_by_phase(self):
+        """The paper: the slowdown reaches distance-d nodes after d phases
+        and everyone within 10-20 phases."""
+        sim = make_sim(fixed_slow_traces(20, [9]))
+        comp0 = sim.spec.cost_model.compute_work(80_000)
+        affected_history = []
+        for _ in range(20):
+            sim.step_phase()
+            # A node is "affected" once its finish time exceeds what a
+            # dedicated node would have needed.
+            dedicated_time = sim.phases_run * (comp0 + 0.03)
+            affected = int((sim._times > dedicated_time * 1.05).sum())
+            affected_history.append(affected)
+        assert affected_history[0] <= 5
+        assert affected_history[-1] == 20  # all dragged within 20 phases
+        assert all(
+            b >= a for a, b in zip(affected_history, affected_history[1:])
+        )
+
+
+class TestRemapCharging:
+    def test_migration_advances_both_endpoints(self):
+        sim = make_sim(fixed_slow_traces(20, [9]), policy="filtered")
+        for _ in range(10):
+            comp = sim.step_phase()
+            sim.remapper.record_phase(comp)
+        t_before = sim._times.copy()
+        sim._charge_load_index_exchange()
+        decision = sim.remapper.attempt()
+        assert decision.moved
+        sim._charge_migration(decision.flows)
+        moved_edges = np.flatnonzero(decision.flows)
+        for e in moved_edges:
+            assert sim._times[e] > t_before[e]
+            assert sim._times[e + 1] > t_before[e + 1]
+
+    def test_global_exchange_synchronizes_everyone(self):
+        sim = make_sim(fixed_slow_traces(20, [9]), policy="global")
+        for _ in range(10):
+            comp = sim.step_phase()
+            sim.remapper.record_phase(comp)
+        sim._charge_load_index_exchange()
+        assert np.allclose(sim._times, sim._times[0])
+
+    def test_local_exchange_cheap(self):
+        sim = make_sim(policy="filtered")
+        for _ in range(10):
+            comp = sim.step_phase()
+            sim.remapper.record_phase(comp)
+        t_before = sim._times.copy()
+        sim._charge_load_index_exchange()
+        added = sim._times - t_before
+        assert added.max() < 0.1  # two tiny messages, no barrier

@@ -1,0 +1,89 @@
+"""Timeline recording and the adaptation scenario."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import paper_cluster
+from repro.cluster.simulator import PhaseSimulator
+from repro.cluster.workload import delayed_slow_traces, fixed_slow_traces
+from repro.core.policies import make_policy
+
+
+class TestTimelineRecording:
+    def test_disabled_by_default(self):
+        spec = paper_cluster(None)
+        result = PhaseSimulator(spec, make_policy("no-remap")).run(20)
+        assert result.phase_makespans is None
+        assert result.partition_history is None
+
+    def test_makespans_recorded(self):
+        spec = paper_cluster(None)
+        sim = PhaseSimulator(spec, make_policy("no-remap"), record_timeline=True)
+        result = sim.run(30)
+        assert result.phase_makespans.shape == (30,)
+        assert (result.phase_makespans > 0).all()
+
+    def test_partition_history_on_remaps(self):
+        spec = paper_cluster(fixed_slow_traces(20, [9]))
+        sim = PhaseSimulator(spec, make_policy("filtered"), record_timeline=True)
+        result = sim.run(40)
+        # Remap attempts at phases 10, 20, 30, 40.
+        assert len(result.partition_history) == 4
+        for counts in result.partition_history:
+            assert sum(counts) == 400
+
+    def test_makespan_drops_after_remap(self):
+        spec = paper_cluster(fixed_slow_traces(20, [9]))
+        sim = PhaseSimulator(spec, make_policy("filtered"), record_timeline=True)
+        result = sim.run(60)
+        m = result.phase_makespans
+        assert m[-1] < 0.7 * m[5]  # evacuation cut the makespan
+
+
+class TestDelayedSlowTraces:
+    def test_onset_respected(self):
+        traces = delayed_slow_traces(4, 2, onset=30.0)
+        assert traces[2].availability(10.0) == 1.0
+        assert traces[2].availability(31.0) == pytest.approx(0.35)
+        assert traces[0].availability(31.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            delayed_slow_traces(4, 4, onset=10.0)
+        with pytest.raises(ValueError):
+            delayed_slow_traces(4, 1, onset=0.0)
+
+
+class TestAdaptationExperiment:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.experiments import ext_adaptation
+
+        return ext_adaptation.run(fast=True)
+
+    def test_adapting_schemes_beat_noremap(self, report):
+        data = report.data["schemes"]
+        for name in ("filtered", "conservative", "global"):
+            assert data[name]["total"] < data["no-remap"]["total"]
+
+    def test_filtered_fastest_reaction(self, report):
+        data = report.data["schemes"]
+        assert (
+            data["filtered"]["reaction_phases"]
+            <= data["conservative"]["reaction_phases"]
+        )
+
+    def test_reaction_bounded_by_history_plus_interval(self, report):
+        """The lazy filter cannot react before the history window fills
+        with slow samples (K = 10) and must then also hit a remap boundary
+        (interval 10): the reaction is at least ~10 and should be well
+        under 50 phases."""
+        reaction = report.data["schemes"]["filtered"]["reaction_phases"]
+        assert 5 <= reaction <= 50
+
+    def test_steady_makespans_ordered(self, report):
+        data = report.data["schemes"]
+        assert (
+            data["filtered"]["steady_makespan"]
+            < data["no-remap"]["steady_makespan"]
+        )

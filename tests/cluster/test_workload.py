@@ -1,0 +1,115 @@
+import numpy as np
+import pytest
+
+from repro.cluster.workload import (
+    DEFAULT_BUSY_AVAILABILITY,
+    dedicated_traces,
+    duty_cycle_trace,
+    fixed_slow_traces,
+    transient_spike_traces,
+)
+
+
+class TestDedicated:
+    def test_all_idle(self):
+        traces = dedicated_traces(5)
+        assert len(traces) == 5
+        assert all(t.availability(123.0) == 1.0 for t in traces)
+
+
+class TestFixedSlow:
+    def test_selected_nodes_slow(self):
+        traces = fixed_slow_traces(4, [1, 3])
+        assert traces[0].availability(10.0) == 1.0
+        assert traces[1].availability(10.0) == DEFAULT_BUSY_AVAILABILITY
+        assert traces[3].availability(1e5) == DEFAULT_BUSY_AVAILABILITY
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_slow_traces(4, [4])
+
+    def test_custom_availability(self):
+        traces = fixed_slow_traces(2, [0], busy_availability=0.5)
+        assert traces[0].availability(0.0) == 0.5
+
+    def test_jitter_fluctuates_around_mean(self):
+        traces = fixed_slow_traces(3, [1], jitter=0.05, seed=0)
+        samples = [traces[1].availability(t) for t in np.arange(0.5, 100, 2.0)]
+        assert np.std(samples) > 0.0
+        assert abs(np.mean(samples) - DEFAULT_BUSY_AVAILABILITY) < 0.05
+
+    def test_jitter_deterministic_by_seed(self):
+        a = fixed_slow_traces(3, [1], jitter=0.05, seed=9)[1]
+        b = fixed_slow_traces(3, [1], jitter=0.05, seed=9)[1]
+        ts = np.arange(0.5, 50, 1.0)
+        assert [a.availability(t) for t in ts] == [b.availability(t) for t in ts]
+
+    def test_fast_nodes_unjittered(self):
+        traces = fixed_slow_traces(3, [1], jitter=0.05, seed=0)
+        assert traces[0].availability(33.0) == 1.0
+
+
+class TestDutyCycle:
+    def test_zero_duty_is_idle(self):
+        tr = duty_cycle_trace(0.0)
+        assert tr.availability(5.0) == 1.0
+
+    def test_full_duty_is_slow(self):
+        tr = duty_cycle_trace(1.0)
+        assert tr.availability(5.0) == DEFAULT_BUSY_AVAILABILITY
+
+    def test_pattern_within_period(self):
+        tr = duty_cycle_trace(0.3, period=10.0)
+        assert tr.availability(1.0) == DEFAULT_BUSY_AVAILABILITY
+        assert tr.availability(5.0) == 1.0
+
+    def test_pattern_repeats(self):
+        tr = duty_cycle_trace(0.3, period=10.0)
+        assert tr.availability(11.0) == DEFAULT_BUSY_AVAILABILITY
+        assert tr.availability(95.0) == 1.0
+
+    def test_invalid_duty(self):
+        with pytest.raises(ValueError):
+            duty_cycle_trace(1.2)
+
+
+class TestTransientSpikes:
+    def test_one_victim_per_window(self):
+        traces = transient_spike_traces(6, 2.0, seed=1)
+        for window in range(8):
+            t_mid_spike = window * 10.0 + 1.0
+            busy = [
+                i
+                for i, tr in enumerate(traces)
+                if tr.availability(t_mid_spike) < 1.0
+            ]
+            assert len(busy) == 1
+
+    def test_spike_ends_within_window(self):
+        traces = transient_spike_traces(6, 2.0, seed=1)
+        for window in range(5):
+            t_after_spike = window * 10.0 + 5.0
+            assert all(tr.availability(t_after_spike) == 1.0 for tr in traces)
+
+    def test_seed_reproducible(self):
+        a = transient_spike_traces(6, 1.0, seed=5)
+        b = transient_spike_traces(6, 1.0, seed=5)
+        ts = np.arange(0.5, 80, 1.0)
+        for tr_a, tr_b in zip(a, b):
+            assert [tr_a.availability(t) for t in ts] == [
+                tr_b.availability(t) for t in ts
+            ]
+
+    def test_victims_vary(self):
+        traces = transient_spike_traces(6, 1.0, seed=3)
+        victims = []
+        for window in range(20):
+            t = window * 10.0 + 0.5
+            victims.extend(
+                i for i, tr in enumerate(traces) if tr.availability(t) < 1.0
+            )
+        assert len(set(victims)) > 1
+
+    def test_spike_longer_than_period_rejected(self):
+        with pytest.raises(ValueError):
+            transient_spike_traces(4, 11.0)

@@ -1,0 +1,68 @@
+"""Shared fixtures: small, fast solver configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lbm.components import ComponentSpec
+from repro.lbm.forces import WallForceSpec
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import D2Q9, D3Q19
+from repro.lbm.solver import LBMConfig, MulticomponentLBM
+
+
+@pytest.fixture
+def channel_2d() -> ChannelGeometry:
+    return ChannelGeometry(shape=(12, 18), wall_axes=(1,))
+
+
+@pytest.fixture
+def channel_3d() -> ChannelGeometry:
+    return ChannelGeometry(shape=(10, 12, 8))
+
+
+@pytest.fixture
+def single_component_config(channel_2d) -> LBMConfig:
+    return LBMConfig(
+        geometry=channel_2d,
+        components=(ComponentSpec("water", tau=1.0, rho_init=1.0),),
+        g_matrix=np.zeros((1, 1)),
+        lattice=D2Q9,
+        body_acceleration=(1e-5, 0.0),
+    )
+
+
+@pytest.fixture
+def two_component_config(channel_2d) -> LBMConfig:
+    return LBMConfig(
+        geometry=channel_2d,
+        components=(
+            ComponentSpec("water", tau=1.0, rho_init=1.0),
+            ComponentSpec("air", tau=1.0, rho_init=0.03),
+        ),
+        g_matrix=np.array([[0.0, 0.9], [0.9, 0.0]]),
+        lattice=D2Q9,
+        wall_force=WallForceSpec(amplitude=0.05, decay_length=2.0),
+        body_acceleration=(1e-6, 0.0),
+    )
+
+
+@pytest.fixture
+def two_component_config_3d(channel_3d) -> LBMConfig:
+    return LBMConfig(
+        geometry=channel_3d,
+        components=(
+            ComponentSpec("water", tau=1.0, rho_init=1.0),
+            ComponentSpec("air", tau=1.0, rho_init=0.03),
+        ),
+        g_matrix=np.array([[0.0, 0.9], [0.9, 0.0]]),
+        lattice=D3Q19,
+        wall_force=WallForceSpec(amplitude=0.05, decay_length=2.0),
+        body_acceleration=(1e-6, 0.0, 0.0),
+    )
+
+
+@pytest.fixture
+def small_solver(two_component_config) -> MulticomponentLBM:
+    return MulticomponentLBM(two_component_config)

@@ -1,0 +1,92 @@
+import numpy as np
+import pytest
+
+from repro.core.conflict import (
+    clamp_plane_flows,
+    flows_to_planes,
+    net_edge_proposals,
+)
+from repro.core.partition import SlicePartition
+
+
+class TestNetEdgeProposals:
+    def test_one_sided(self):
+        net = net_edge_proposals(
+            np.array([100.0, 0.0, 0.0]), np.array([0.0, 0.0, 0.0])
+        )
+        assert net.tolist() == [100.0, 0.0]
+
+    def test_opposing_proposals_cancel(self):
+        give_right = np.array([100.0, 0.0])
+        give_left = np.array([0.0, 30.0])
+        net = net_edge_proposals(give_right, give_left)
+        assert net.tolist() == [70.0]
+
+    def test_receiver_wins_when_larger(self):
+        net = net_edge_proposals(np.array([10.0, 0.0]), np.array([0.0, 50.0]))
+        assert net.tolist() == [-40.0]
+
+    def test_negative_proposals_rejected(self):
+        with pytest.raises(ValueError):
+            net_edge_proposals(np.array([-1.0, 0.0]), np.array([0.0, 0.0]))
+
+    def test_boundary_nodes_cannot_propose_outward(self):
+        with pytest.raises(ValueError, match="last node"):
+            net_edge_proposals(np.array([0.0, 5.0]), np.array([0.0, 0.0]))
+        with pytest.raises(ValueError, match="first node"):
+            net_edge_proposals(np.array([0.0, 0.0]), np.array([5.0, 0.0]))
+
+
+class TestFlowsToPlanes:
+    def test_truncates_toward_zero(self):
+        flows = flows_to_planes(np.array([3999.0, -4001.0, 8000.0]), 4000)
+        assert flows.tolist() == [0, -1, 2]
+
+    def test_invalid_plane_points(self):
+        with pytest.raises(ValueError):
+            flows_to_planes(np.array([1.0]), 0)
+
+
+class TestClampPlaneFlows:
+    def test_feasible_untouched(self):
+        p = SlicePartition([10, 10, 10], 100)
+        flows = np.array([3, -2])
+        out = clamp_plane_flows(flows, p)
+        assert out.tolist() == [3, -2]
+
+    def test_overdraw_on_one_edge(self):
+        p = SlicePartition([5, 5], 100)
+        out = clamp_plane_flows(np.array([7]), p)
+        assert out.tolist() == [4]  # keeps min_planes = 1
+
+    def test_double_sided_overdraw_split_proportionally(self):
+        # Node 1 gives 10 left and 10 right but has only 19 to spare.
+        p = SlicePartition([20, 20, 20], 100)
+        out = clamp_plane_flows(np.array([-10, 10]), p)
+        assert out[1] - (-out[0]) in (-1, 0, 1)  # roughly even split
+        assert 20 + out[0] - out[1] >= 1
+
+    def test_input_not_mutated(self):
+        p = SlicePartition([3, 3], 100)
+        flows = np.array([5])
+        clamp_plane_flows(flows, p)
+        assert flows.tolist() == [5]
+
+    def test_chain_remains_feasible(self):
+        p = SlicePartition([2, 2, 2, 20], 100)
+        out = clamp_plane_flows(np.array([-1, -1, -15]), p)
+        new = p.plane_counts()
+        new[:-1] -= out
+        new[1:] += out
+        assert (new >= 1).all()
+
+    def test_wrong_length(self):
+        p = SlicePartition([5, 5], 100)
+        with pytest.raises(ValueError):
+            clamp_plane_flows(np.array([1, 1]), p)
+
+    def test_through_traffic_preserved(self):
+        """A relay node (in = out) is feasible and must stay untouched."""
+        p = SlicePartition([10, 1, 10], 100)
+        out = clamp_plane_flows(np.array([4, 4]), p)
+        assert out.tolist() == [4, 4]

@@ -1,0 +1,130 @@
+import numpy as np
+import pytest
+
+from repro.core.exchange import (
+    chain_flows_for_targets,
+    desired_transfer,
+    proportional_targets,
+    speeds_from,
+    window_targets,
+)
+
+
+class TestSpeedsFrom:
+    def test_basic(self):
+        s = speeds_from([100, 200], [1.0, 4.0])
+        assert s.tolist() == [100.0, 50.0]
+
+    def test_nonpositive_time_rejected(self):
+        with pytest.raises(ValueError):
+            speeds_from([100], [0.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            speeds_from([100, 200], [1.0])
+
+
+class TestWindowTargets:
+    def test_equal_speeds_even_split(self):
+        t = window_targets([10, 20, 30], [1.0, 1.0, 1.0])
+        assert np.allclose(t, 20.0)
+
+    def test_conserves_total(self):
+        t = window_targets([10, 25, 30], [1.0, 0.35, 1.2])
+        assert t.sum() == pytest.approx(65.0)
+
+    def test_proportional_to_speed(self):
+        t = window_targets([30, 30], [2.0, 1.0])
+        assert t[0] == pytest.approx(40.0)
+        assert t[1] == pytest.approx(20.0)
+
+    def test_paper_formula(self):
+        """n'_j = S_j * sum(n) / sum(S) for the paper's triple window."""
+        counts = [80000, 80000, 80000]
+        speeds = [1.0, 0.35, 1.0]
+        t = window_targets(counts, speeds)
+        expect = np.array(speeds) * sum(counts) / sum(speeds)
+        assert np.allclose(t, expect)
+
+    def test_window_too_small(self):
+        with pytest.raises(ValueError):
+            window_targets([10], [1.0])
+
+
+class TestDesiredTransfer:
+    def test_slow_giver_sheds(self):
+        # Node 1 slow: it should shed to both neighbours.
+        counts = [100.0, 100.0, 100.0]
+        speeds = [1.0, 0.35, 1.0]
+        amount = desired_transfer(counts, speeds, giver=1, receiver=2)
+        assert amount > 0
+
+    def test_balanced_window_no_transfer(self):
+        amount = desired_transfer([100, 100, 100], [1, 1, 1], 1, 0)
+        assert amount == 0.0
+
+    def test_receiver_overloaded_no_transfer(self):
+        # Receiver already above its target: nothing moves.
+        amount = desired_transfer([10, 200, 10], [1, 1, 1], 0, 1)
+        assert amount == 0.0
+
+    def test_giver_without_surplus_no_transfer(self):
+        # Receiver is underloaded but the giver is too (middle is hoarding,
+        # but it's not the one asking).
+        amount = desired_transfer([10, 280, 10], [1, 1, 1], 0, 1)
+        assert amount == 0.0
+
+    def test_capped_by_giver_surplus(self):
+        counts = [110.0, 100.0, 90.0]
+        speeds = [1.0, 1.0, 1.0]
+        amount = desired_transfer(counts, speeds, giver=0, receiver=1)
+        assert amount <= 110.0 - 100.0
+
+    def test_paper_condition_equivalence(self):
+        """Transfer from i to i+1 happens iff sum(n)/sum(S) > t_{i+1}."""
+        counts = np.array([100.0, 100.0, 70.0])
+        times = np.array([1.0, 2.5, 1.0])
+        speeds = counts / times
+        lhs = counts.sum() / speeds.sum()
+        amount = desired_transfer(counts, speeds, giver=1, receiver=2)
+        assert (amount > 0) == (lhs > times[2])
+
+
+class TestProportionalTargets:
+    def test_proportionality(self):
+        t = proportional_targets(300.0, [1.0, 2.0])
+        assert np.allclose(t, [100.0, 200.0])
+
+    def test_conserves_total(self):
+        t = proportional_targets(400.0, [1.0, 0.35, 1.0, 0.7])
+        assert t.sum() == pytest.approx(400.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            proportional_targets(0.0, [1.0])
+        with pytest.raises(ValueError):
+            proportional_targets(10.0, [1.0, 0.0])
+
+
+class TestChainFlows:
+    def test_simple_shift(self):
+        flows = chain_flows_for_targets([10, 10], [5, 15])
+        assert flows.tolist() == [5.0]
+
+    def test_multi_hop(self):
+        # All surplus at node 0 must flow through node 1 to reach node 2.
+        flows = chain_flows_for_targets([12, 4, 4], [4, 4, 12])
+        assert flows.tolist() == [8.0, 8.0]
+
+    def test_applying_flows_reaches_target(self):
+        current = np.array([20, 5, 30, 25])
+        target = np.array([20.0, 20.0, 20.0, 20.0])
+        flows = chain_flows_for_targets(current, target)
+        new = current.astype(float).copy()
+        new[:-1] -= flows
+        new[1:] += flows
+        assert np.allclose(new, target)
+
+    def test_conservation_required(self):
+        with pytest.raises(ValueError, match="conserve"):
+            chain_flows_for_targets([10, 10], [5, 20])

@@ -1,0 +1,50 @@
+import pytest
+
+from repro.core.history import PhaseTimeHistory
+
+
+class TestPhaseTimeHistory:
+    def test_records_in_order(self):
+        h = PhaseTimeHistory(capacity=5)
+        for t in (1.0, 2.0, 3.0):
+            h.record(t)
+        assert h.times() == [1.0, 2.0, 3.0]
+
+    def test_capacity_evicts_oldest(self):
+        h = PhaseTimeHistory(capacity=3)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            h.record(t)
+        assert h.times() == [2.0, 3.0, 4.0]
+
+    def test_full_flag(self):
+        h = PhaseTimeHistory(capacity=2)
+        assert not h.full
+        h.record(1.0)
+        assert not h.full
+        h.record(1.0)
+        assert h.full
+
+    def test_len(self):
+        h = PhaseTimeHistory(capacity=4)
+        h.record(1.0)
+        assert len(h) == 1
+
+    def test_clear(self):
+        h = PhaseTimeHistory(capacity=4)
+        h.record(1.0)
+        h.clear()
+        assert len(h) == 0
+
+    def test_rejects_nonpositive(self):
+        h = PhaseTimeHistory()
+        with pytest.raises(ValueError):
+            h.record(0.0)
+        with pytest.raises(ValueError):
+            h.record(-1.0)
+
+    def test_default_capacity_is_paper_k(self):
+        assert PhaseTimeHistory().capacity == 10
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PhaseTimeHistory(capacity=0)

@@ -1,0 +1,53 @@
+import pytest
+
+from repro.core.overredistribution import (
+    is_confirmed_slow,
+    over_redistribution_factor,
+)
+
+
+class TestConfirmedSlow:
+    def test_paper_case(self):
+        # 70% background job -> ~0.35 availability vs idle neighbours.
+        assert is_confirmed_slow(0.35, [1.0, 1.0])
+
+    def test_equal_speeds_not_slow(self):
+        assert not is_confirmed_slow(1.0, [1.0, 1.0])
+
+    def test_borderline_respects_ratio(self):
+        assert not is_confirmed_slow(0.9, [1.0], slow_ratio=0.8)
+        assert is_confirmed_slow(0.7, [1.0], slow_ratio=0.8)
+
+    def test_no_neighbours(self):
+        assert not is_confirmed_slow(0.1, [])
+
+    def test_fastest_neighbour_counts(self):
+        # One slow neighbour does not mask our own slowness.
+        assert is_confirmed_slow(0.35, [0.3, 1.0])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            is_confirmed_slow(0.0, [1.0])
+        with pytest.raises(ValueError):
+            is_confirmed_slow(0.5, [0.0])
+        with pytest.raises(ValueError):
+            is_confirmed_slow(0.5, [1.0], slow_ratio=1.5)
+
+
+class TestOverRedistributionFactor:
+    def test_paper_beta(self):
+        # beta = S_{i+1} / S_i = 1 / 0.35 ~ 2.86
+        beta = over_redistribution_factor(0.35, 1.0)
+        assert beta == pytest.approx(1.0 / 0.35, rel=1e-6)
+
+    def test_floor_at_one(self):
+        assert over_redistribution_factor(1.0, 0.9) == 1.0
+
+    def test_cap(self):
+        assert over_redistribution_factor(0.01, 1.0, max_beta=8.0) == 8.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            over_redistribution_factor(0.0, 1.0)
+        with pytest.raises(ValueError):
+            over_redistribution_factor(1.0, 1.0, max_beta=0.0)

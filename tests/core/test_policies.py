@@ -1,0 +1,218 @@
+import numpy as np
+import pytest
+
+from repro.core.partition import SlicePartition
+from repro.core.policies import (
+    POLICY_NAMES,
+    ConservativePolicy,
+    FilteredPolicy,
+    GlobalPolicy,
+    NoRemappingPolicy,
+    RemappingConfig,
+    make_policy,
+    window_proposal,
+)
+from repro.core.prediction import LastPhasePredictor
+
+
+def even_partition(nodes=8, planes_each=10, plane_points=100):
+    return SlicePartition.even(nodes * planes_each, nodes, plane_points)
+
+
+def times_with_slow(partition, slow: dict[int, float]):
+    """Phase times proportional to counts, divided by availability."""
+    counts = partition.point_counts().astype(float)
+    t = counts * 1e-5
+    for node, avail in slow.items():
+        t[node] /= avail
+    return t
+
+
+class TestRemappingConfig:
+    def test_defaults_match_paper(self):
+        cfg = RemappingConfig()
+        assert cfg.history == 10
+        assert cfg.interval == 10
+        assert cfg.conservative_factor == 0.5
+
+    def test_threshold_defaults_to_plane(self):
+        cfg = RemappingConfig()
+        p = SlicePartition([5, 5], 4000)
+        assert cfg.threshold_for(p) == 4000
+        assert cfg.threshold_points_for(4000) == 4000
+
+    def test_explicit_threshold(self):
+        cfg = RemappingConfig(threshold_points=123)
+        p = SlicePartition([5, 5], 4000)
+        assert cfg.threshold_for(p) == 123
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RemappingConfig(interval=0)
+        with pytest.raises(ValueError):
+            RemappingConfig(slow_ratio=1.5)
+        with pytest.raises(ValueError):
+            RemappingConfig(conservative_factor=-0.1)
+
+
+class TestNoRemapping:
+    def test_always_zero(self):
+        part = even_partition()
+        policy = NoRemappingPolicy()
+        flows = policy.decide(part, times_with_slow(part, {3: 0.35}))
+        assert not flows.any()
+
+    def test_times_validated(self):
+        part = even_partition()
+        with pytest.raises(ValueError):
+            NoRemappingPolicy().decide(part, np.ones(3))
+
+
+class TestWindowProposal:
+    def cfg(self, **kw):
+        return RemappingConfig(**kw)
+
+    def test_balanced_no_proposal(self):
+        amount = window_proposal(
+            [1000, 1000, 1000], [1, 1, 1], 1, 2, self.cfg(), 100, filtered=False
+        )
+        assert amount == 0.0
+
+    def test_threshold_blocks_small(self):
+        amount = window_proposal(
+            [1000, 1080, 1000], [1, 1, 1], 1, 0, self.cfg(), 100, filtered=False
+        )
+        assert amount == 0.0  # desired ~27 points < threshold 100
+
+    def test_fast_to_slow_blocked(self):
+        # Giver fast, receiver much slower: blocked even if underloaded.
+        amount = window_proposal(
+            [2000, 500], [1.0, 0.3], 0, 1, self.cfg(), 100, filtered=False
+        )
+        assert amount == 0.0
+
+    def test_conservative_halves(self):
+        full_cfg = self.cfg(conservative_factor=1.0)
+        half_cfg = self.cfg(conservative_factor=0.5)
+        args = ([500, 2000, 500], [1, 1, 1], 1, 0)
+        full = window_proposal(*args, full_cfg, 100, filtered=False)
+        half = window_proposal(*args, half_cfg, 100, filtered=False)
+        assert half == pytest.approx(full / 2)
+
+    def test_filtered_over_redistributes(self):
+        counts = [1000.0, 1000.0, 1000.0]
+        speeds = [1.0, 0.35, 1.0]
+        plain = window_proposal(
+            counts, speeds, 1, 2, self.cfg(over_redistribution=False), 10,
+            filtered=True,
+        )
+        boosted = window_proposal(
+            counts, speeds, 1, 2, self.cfg(), 10, filtered=True
+        )
+        assert boosted == pytest.approx(plain / 0.35, rel=1e-6)
+
+    def test_filtered_excludes_slow_bystander(self):
+        """Window (fast, fast-overloaded, slow): the overloaded fast node
+        should still shed to its fast neighbour even though the slow
+        bystander drags the window average down."""
+        counts = [2100.0, 2900.0, 100.0]
+        speeds = [1.0, 1.0, 0.35]
+        with_excl = window_proposal(
+            counts, speeds, 1, 0, self.cfg(), 100, filtered=True
+        )
+        without_excl = window_proposal(
+            counts, speeds, 1, 0,
+            self.cfg(exclude_slow_from_window=False), 100, filtered=True,
+        )
+        assert with_excl > 0
+        assert without_excl == 0.0
+
+    def test_adjacency_required(self):
+        with pytest.raises(ValueError):
+            window_proposal([1, 1, 1], [1, 1, 1], 0, 2, self.cfg(), 0, filtered=False)
+
+
+class TestConservativePolicy:
+    def test_slow_node_sheds_symmetrically(self):
+        part = even_partition()
+        policy = ConservativePolicy()
+        flows = policy.decide(part, times_with_slow(part, {3: 0.35}))
+        assert flows[2] < 0  # into node 2 (leftward)
+        assert flows[3] > 0  # into node 4 (rightward)
+
+    def test_dedicated_cluster_stable(self):
+        part = even_partition()
+        policy = ConservativePolicy()
+        flows = policy.decide(part, times_with_slow(part, {}))
+        assert not flows.any()
+
+    def test_smaller_transfers_than_filtered(self):
+        part_c = even_partition()
+        part_f = even_partition()
+        times = times_with_slow(part_c, {3: 0.35})
+        moved_c = np.abs(ConservativePolicy().decide(part_c, times)).sum()
+        moved_f = np.abs(FilteredPolicy().decide(part_f, times)).sum()
+        assert moved_c < moved_f
+
+
+class TestFilteredPolicy:
+    def test_evacuates_slow_node(self):
+        part = even_partition(nodes=6, planes_each=20)
+        policy = FilteredPolicy()
+        flows = policy.decide(part, times_with_slow(part, {2: 0.35}))
+        part.apply_edge_flows(flows)
+        assert part.planes(2) <= 5  # most planes gone in one step
+
+    def test_never_sends_into_slow_node(self):
+        part = SlicePartition([10, 30, 10, 10], 100)
+        policy = FilteredPolicy()
+        times = times_with_slow(part, {0: 0.35})
+        flows = policy.decide(part, times)
+        assert flows[0] >= 0  # nothing flows from 1 back into slow 0
+
+    def test_flows_feasible(self):
+        part = SlicePartition([2, 2, 40, 2, 2], 100)
+        policy = FilteredPolicy()
+        times = times_with_slow(part, {2: 0.3})
+        flows = policy.decide(part, times)
+        part.apply_edge_flows(flows)  # must not raise
+        assert (part.plane_counts() >= 1).all()
+
+
+class TestGlobalPolicy:
+    def test_proportional_assignment(self):
+        part = even_partition(nodes=4, planes_each=10)
+        policy = GlobalPolicy()
+        times = times_with_slow(part, {1: 0.5})
+        flows = policy.decide(part, times)
+        part.apply_edge_flows(flows)
+        counts = part.plane_counts()
+        # Slow node ends with roughly half the average.
+        assert counts[1] <= 7
+        assert counts.sum() == 40
+
+    def test_lazy_below_threshold(self):
+        part = even_partition()
+        policy = GlobalPolicy()
+        times = times_with_slow(part, {})
+        times *= 1.0001  # negligible noise
+        assert not policy.decide(part, times).any()
+
+    def test_uses_global_exchange_flag(self):
+        assert GlobalPolicy().uses_global_exchange
+        assert not FilteredPolicy().uses_global_exchange
+
+
+class TestFactory:
+    def test_all_names(self):
+        for name in POLICY_NAMES:
+            assert make_policy(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_policy("magic")
+
+    def test_config_propagates(self):
+        cfg = RemappingConfig(interval=3, predictor=LastPhasePredictor())
+        policy = make_policy("filtered", cfg)
+        assert policy.config.interval == 3

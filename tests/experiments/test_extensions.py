@@ -1,0 +1,55 @@
+"""Tests for the extension experiments (design-space boundaries beyond
+the paper's own evaluation)."""
+
+import pytest
+
+from repro.experiments import ext_decomposition, ext_heterogeneous
+
+
+class TestDecompositionAnalysis:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return ext_decomposition.run()
+
+    def test_paper_grid_slice_cheapest(self, report):
+        entry = report.data["paper channel 400x200x20"]
+        costs = {k: v["cost_ms"] for k, v in entry.items()}
+        assert costs["slice"] == min(costs.values())
+
+    def test_paper_grid_box_smallest_surface(self, report):
+        entry = report.data["paper channel 400x200x20"]
+        surfaces = {k: v["surface"] for k, v in entry.items()}
+        assert surfaces["box"] == min(surfaces.values())
+
+    def test_slice_has_two_neighbours(self, report):
+        entry = report.data["paper channel 400x200x20"]
+        assert entry["slice"]["neighbours"] == 2
+        assert entry["cubic"]["neighbours"] == 6
+
+    def test_isotropic_box_beats_slice_on_surface(self, report):
+        entry = report.data["isotropic control 128x128x128"]
+        assert entry["box"]["surface"] < entry["slice"]["surface"]
+
+
+class TestHeterogeneousCluster:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return ext_heterogeneous.run(fast=True)
+
+    def test_global_wins(self, report):
+        totals = report.data["totals"]
+        assert totals["global"] < 0.85 * totals["no-remap"]
+        assert totals["global"] == min(totals.values())
+
+    def test_local_schemes_plateau(self, report):
+        """The design boundary: filtered/conservative barely improve on a
+        global speed gradient (they are built for localized contention)."""
+        totals = report.data["totals"]
+        for name in ("filtered", "conservative", "diffusion"):
+            assert totals[name] > 0.95 * totals["no-remap"]
+
+    def test_global_moves_most_planes(self, report):
+        moved = report.data["planes_moved"]
+        assert moved["global"] > 5 * max(
+            moved["filtered"], moved["conservative"], moved["diffusion"]
+        )

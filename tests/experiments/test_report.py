@@ -1,0 +1,16 @@
+from repro.experiments.report import Report
+
+
+class TestReport:
+    def test_str_has_header_and_body(self):
+        r = Report(name="figX", title="Demo", text="line1\nline2")
+        out = str(r)
+        assert out.startswith("== figX: Demo ==")
+        assert "line2" in out
+
+    def test_data_defaults_empty(self):
+        assert Report(name="a", title="b", text="c").data == {}
+
+    def test_data_round_trip(self):
+        r = Report(name="a", title="b", text="c", data={"k": [1, 2]})
+        assert r.data["k"] == [1, 2]

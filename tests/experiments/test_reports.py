@@ -1,0 +1,156 @@
+"""Fast-mode runs of every experiment, asserting the qualitative claims
+the paper makes for each table/figure."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig3_disturbance,
+    fig8_speedup,
+    fig9_profile,
+    fig10_schemes,
+    table1_spikes,
+)
+
+
+@pytest.fixture(scope="module")
+def fig3_report():
+    return fig3_disturbance.run(phases=200, duties=(0.0, 0.3, 0.6, 1.0))
+
+
+@pytest.fixture(scope="module")
+def fig9_report():
+    return fig9_profile.run(phases=300)
+
+
+@pytest.fixture(scope="module")
+def fig10_report():
+    return fig10_schemes.run(phases=300, max_slow=3)
+
+
+@pytest.fixture(scope="module")
+def table1_report():
+    return table1_spikes.run(phases=100, spike_lengths=(1.0, 4.0), seeds=(42,))
+
+
+class TestFig3:
+    def test_monotone_in_disturbance(self, fig3_report):
+        times = fig3_report.data["times"]
+        assert (np.diff(times) > 0).all()
+
+    def test_knee_convexity(self, fig3_report):
+        """Overhead grows faster above 60% disturbance than below."""
+        d = fig3_report.data["duties"]
+        t = fig3_report.data["times"]
+        low = (t[1] - t[0]) / (d[1] - d[0])
+        high = (t[3] - t[2]) / (d[3] - d[2])
+        assert high > 1.5 * low
+
+    def test_full_disturbance_factor(self, fig3_report):
+        """~186% overhead at 100% disturbance (paper: 251 -> 717 s)."""
+        over = fig3_report.data["overheads"][-1]
+        assert 150 < over < 220
+
+    def test_report_text_nonempty(self, fig3_report):
+        assert "disturbance" in fig3_report.text
+
+
+class TestFig8:
+    def test_fast_mode_speedups(self):
+        report = fig8_speedup.run(fast=True, max_slow=2)
+        data = report.data
+        assert data["speedup_remap"][0] > 18.0  # near-linear dedicated
+        # Remapping keeps speedup high with slow nodes; no-remap collapses.
+        assert data["speedup_remap"][1] > 13.0
+        assert data["speedup_noremap"][1] < 8.0
+
+    def test_efficiency_stays_high(self):
+        report = fig8_speedup.run(fast=True, max_slow=2)
+        assert min(report.data["efficiency_remap"]) > 0.7
+
+    def test_dedicated_sweep_linear(self):
+        report = fig8_speedup.dedicated_speedup_sweep(
+            phases=300, node_counts=(1, 4, 20)
+        )
+        nodes = report.data["nodes"]
+        speedups = report.data["speedups"]
+        for n, s in zip(nodes, speedups):
+            assert s > 0.9 * n
+
+
+class TestFig9:
+    def test_paper_ordering(self, fig9_report):
+        totals = fig9_report.data["totals"]
+        assert (
+            totals["dedicated"]
+            < totals["filtered"]
+            < totals["conservative"]
+            < totals["no-remap"]
+        )
+
+    def test_noremap_increase_ratio(self, fig9_report):
+        """Paper: +185.6% over dedicated."""
+        totals = fig9_report.data["totals"]
+        ratio = totals["no-remap"] / totals["dedicated"]
+        assert 2.5 < ratio < 3.2
+
+    def test_filtered_increase_ratio(self, fig9_report):
+        """Paper: +24.7% over dedicated."""
+        totals = fig9_report.data["totals"]
+        ratio = totals["filtered"] / totals["dedicated"]
+        assert 1.1 < ratio < 1.45
+
+    def test_filtered_evacuates_node9(self, fig9_report):
+        assert fig9_report.data["final_counts"]["filtered"][9] <= 3
+
+    def test_noremap_neighbours_wait(self, fig9_report):
+        profiles = fig9_report.data["profiles"]["no-remap"]
+        # Everyone except the slow node spends most time in communication.
+        assert profiles["communication"][0] > profiles["computation"][0]
+        assert profiles["communication"][9] < profiles["computation"][9]
+
+    def test_remap_cost_low(self, fig9_report):
+        """Paper: cost of remapping in both schemes is low."""
+        for scheme in ("conservative", "filtered"):
+            p = fig9_report.data["profiles"][scheme]
+            assert p["remapping"].sum() < 0.05 * (
+                p["computation"].sum() + p["communication"].sum()
+            )
+
+
+class TestFig10:
+    def test_filtered_always_best_with_slow_nodes(self, fig10_report):
+        series = fig10_report.data["series"]
+        for k in range(1, len(series["filtered"])):
+            assert series["filtered"][k] <= min(
+                series["no-remap"][k],
+                series["conservative"][k],
+                series["global"][k],
+            ) * 1.001
+
+    def test_global_degrades_past_two(self, fig10_report):
+        series = fig10_report.data["series"]
+        assert series["global"][1] < series["conservative"][1]
+        assert series["global"][3] > series["conservative"][3]
+
+    def test_headline_improvements(self, fig10_report):
+        assert fig10_report.data["filtered_vs_noremap"] > 0.4
+        assert fig10_report.data["filtered_vs_conservative"] > 0.1
+
+
+class TestTable1:
+    def test_slowdown_grows_with_spike_length(self, table1_report):
+        table = table1_report.data["table"]
+        for scheme in ("no-remap", "filtered", "conservative", "global"):
+            assert table[4.0][scheme] > table[1.0][scheme]
+
+    def test_lazy_schemes_track_noremap(self, table1_report):
+        table = table1_report.data["table"]
+        for length in table:
+            base = table[length]["no-remap"]
+            assert abs(table[length]["filtered"] - base) < 12.0
+            assert abs(table[length]["conservative"] - base) < 12.0
+
+    def test_global_worst(self, table1_report):
+        table = table1_report.data["table"]
+        assert table[4.0]["global"] > table[4.0]["no-remap"] + 5.0

@@ -1,0 +1,29 @@
+"""Resolution-dependence extension (fast mode: two coarsest grids)."""
+
+import pytest
+
+from repro.experiments import ext_resolution
+
+
+@pytest.fixture(scope="module")
+def report():
+    return ext_resolution.run(fast=True)
+
+
+class TestResolutionSweep:
+    def test_gain_positive_everywhere(self, report):
+        for point in report.data["series"]:
+            assert point["gain"] > 0.01
+
+    def test_forced_exceeds_control(self, report):
+        for point in report.data["series"]:
+            assert point["slip_forced"] > point["slip_control"]
+
+    def test_control_floor_shrinks_with_resolution(self, report):
+        series = report.data["series"]
+        assert series[-1]["slip_control"] < series[0]["slip_control"]
+
+    def test_registered(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "ext-resolution" in EXPERIMENTS

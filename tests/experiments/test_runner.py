@@ -1,0 +1,44 @@
+"""The experiments CLI."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, ORDER, main
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        for name in ("fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "table1"):
+            assert name in EXPERIMENTS
+
+    def test_extensions_registered(self):
+        for name in ("ext-decomposition", "ext-heterogeneous", "ext-adaptation"):
+            assert name in EXPERIMENTS
+
+    def test_order_covers_registry(self):
+        assert set(ORDER) == set(EXPERIMENTS)
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        assert main(["ext-decomposition"]) == 0
+        out = capsys.readouterr().out
+        assert "slice" in out
+        assert "completed in" in out
+
+    def test_fast_flag(self, capsys):
+        assert main(["fig3", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "disturbance" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["ext-decomposition", "ext-heterogeneous", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("completed in") == 2
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_requires_argument(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,67 @@
+"""The shared slip-simulation scenario builder."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.slip_sim import SlipScenario, clear_cache, run_slip_pair
+from repro.lbm.lattice import D2Q9, D3Q19
+
+
+class TestScenarioBuilder:
+    def test_default_is_3d(self):
+        cfg = SlipScenario().build_config(with_wall_force=True)
+        assert cfg.lattice is D3Q19
+        assert cfg.geometry.ndim == 3
+
+    def test_fast_is_2d(self):
+        cfg = SlipScenario.fast().build_config(with_wall_force=True)
+        assert cfg.lattice is D2Q9
+
+    def test_paper_scale_grid(self):
+        scenario = SlipScenario.paper_scale()
+        assert scenario.shape == (400, 200, 20)
+        assert scenario.steps == 20000
+
+    def test_wall_force_toggle(self):
+        s = SlipScenario.fast()
+        with_force = s.build_config(with_wall_force=True)
+        without = s.build_config(with_wall_force=False)
+        assert with_force.wall_force is not None
+        assert without.wall_force is None
+        assert with_force.wall_force.amplitude == s.wall_amplitude
+
+    def test_components_are_water_air(self):
+        cfg = SlipScenario.fast().build_config(with_wall_force=True)
+        assert [c.name for c in cfg.components] == ["water", "air"]
+        assert cfg.components[1].rho_init < cfg.components[0].rho_init
+
+    def test_coupling_symmetric_repulsive(self):
+        cfg = SlipScenario.fast().build_config(with_wall_force=True)
+        g = cfg.g_matrix
+        assert g[0, 1] == g[1, 0] > 0
+        assert g[0, 0] == g[1, 1] == 0
+
+    def test_body_acceleration_along_x(self):
+        cfg = SlipScenario.fast().build_config(with_wall_force=True)
+        assert cfg.body_acceleration[0] > 0
+        assert all(a == 0 for a in cfg.body_acceleration[1:])
+
+
+class TestCache:
+    def test_pair_memoized(self):
+        clear_cache()
+        tiny = SlipScenario(shape=(10, 14), steps=5)
+        a = run_slip_pair(tiny)
+        b = run_slip_pair(tiny)
+        assert a[0] is b[0]
+        clear_cache()
+        c = run_slip_pair(tiny)
+        assert c[0] is not a[0]
+
+    def test_pair_order_forced_then_control(self):
+        clear_cache()
+        tiny = SlipScenario(shape=(10, 14), steps=5)
+        forced, control = run_slip_pair(tiny)
+        assert forced.config.wall_force is not None
+        assert control.config.wall_force is None
+        clear_cache()

@@ -1,0 +1,41 @@
+"""The slip-parameter sweep extension (fast mode)."""
+
+import pytest
+
+from repro.experiments import ext_slip_sweep
+
+
+@pytest.fixture(scope="module")
+def report():
+    return ext_slip_sweep.run(fast=True)
+
+
+class TestSlipSweep:
+    def test_slip_monotone_in_amplitude(self, report):
+        sweep = report.data["amplitude_sweep"]
+        slips = [p["slip"] for p in sweep]
+        assert all(b > a for a, b in zip(slips, slips[1:]))
+
+    def test_zero_amplitude_no_slip(self, report):
+        baseline = report.data["amplitude_sweep"][0]
+        assert baseline["amplitude"] == 0.0
+        assert abs(baseline["slip"]) < 0.03
+
+    def test_depletion_monotone_in_amplitude(self, report):
+        sweep = report.data["amplitude_sweep"]
+        wall_densities = [p["wall_water"] for p in sweep]
+        assert all(b < a for a, b in zip(wall_densities, wall_densities[1:]))
+
+    def test_paper_amplitude_gives_paper_scale_slip(self, report):
+        top = report.data["amplitude_sweep"][-1]
+        assert top["amplitude"] == pytest.approx(0.2)
+        assert 0.08 < top["slip"] < 0.45  # the ~10%+ regime
+
+    def test_slip_length_positive_when_forced(self, report):
+        for p in report.data["amplitude_sweep"][1:]:
+            assert p["slip_length"] > 0
+
+    def test_runner_registration(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "ext-slip-sweep" in EXPERIMENTS

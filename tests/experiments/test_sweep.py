@@ -1,0 +1,80 @@
+import pytest
+
+from repro.cluster.scenario import Scenario
+from repro.experiments.sweep import (
+    SweepRow,
+    read_sweep_csv,
+    sweep,
+    sweep_table,
+    sweep_to_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    scenarios = {
+        "dedicated": Scenario(workload="dedicated", phases=40),
+        "1 slow": Scenario(
+            workload="fixed-slow", phases=40, params={"slow_nodes": [9]}
+        ),
+    }
+    return sweep(scenarios, policies=("no-remap", "filtered"))
+
+
+class TestSweep:
+    def test_row_count(self, small_sweep):
+        assert len(small_sweep) == 4
+
+    def test_rows_complete(self, small_sweep):
+        for row in small_sweep:
+            assert row.total_time > 0
+            assert row.final_max_planes >= 20
+
+    def test_slow_scenario_slower_without_remap(self, small_sweep):
+        by_key = {(r.scenario, r.policy): r for r in small_sweep}
+        assert (
+            by_key[("1 slow", "no-remap")].total_time
+            > by_key[("dedicated", "no-remap")].total_time
+        )
+
+    def test_phase_override(self):
+        rows = sweep(
+            {"d": Scenario(workload="dedicated", phases=999)},
+            policies=("no-remap",),
+            phases=20,
+        )
+        # 20 phases of ~0.42s.
+        assert rows[0].total_time < 15.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sweep({})
+        with pytest.raises(ValueError):
+            sweep({"d": Scenario()}, policies=("sorcery",))
+
+
+class TestTableAndCsv:
+    def test_table_renders(self, small_sweep):
+        out = sweep_table(small_sweep, title="demo")
+        assert "demo" in out
+        assert "filtered" in out
+
+    def test_csv_round_trip(self, small_sweep, tmp_path):
+        path = tmp_path / "sweep.csv"
+        sweep_to_csv(small_sweep, path)
+        back = read_sweep_csv(path)
+        assert len(back) == len(small_sweep)
+        for a, b in zip(small_sweep, back):
+            assert a.scenario == b.scenario
+            assert a.policy == b.policy
+            assert a.total_time == pytest.approx(b.total_time, abs=1e-3)
+
+    def test_empty_export_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            sweep_to_csv([], tmp_path / "x.csv")
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="sweep CSV"):
+            read_sweep_csv(path)

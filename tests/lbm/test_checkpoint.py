@@ -1,0 +1,94 @@
+import numpy as np
+import pytest
+
+from repro.lbm.checkpoint import (
+    load_checkpoint,
+    roundtrip_equal,
+    save_checkpoint,
+)
+from repro.lbm.components import ComponentSpec
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import D2Q9
+from repro.lbm.solver import LBMConfig, MulticomponentLBM
+
+
+@pytest.fixture
+def solver(two_component_config):
+    s = MulticomponentLBM(two_component_config)
+    s.run(25)
+    return s
+
+
+class TestRoundTrip:
+    def test_state_restored_bitwise(self, solver, tmp_path, two_component_config):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(solver, path)
+        fresh = MulticomponentLBM(two_component_config)
+        load_checkpoint(fresh, path)
+        assert roundtrip_equal(solver, fresh)
+
+    def test_continued_run_identical(self, solver, tmp_path, two_component_config):
+        """Run A->B directly vs checkpoint at A, restore, run to B."""
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(solver, path)
+        solver.run(15)
+        restored = MulticomponentLBM(two_component_config)
+        load_checkpoint(restored, path)
+        restored.run(15)
+        assert np.array_equal(solver.f, restored.f)
+
+    def test_step_count_restored(self, solver, tmp_path, two_component_config):
+        path = tmp_path / "c.npz"
+        save_checkpoint(solver, path)
+        fresh = MulticomponentLBM(two_component_config)
+        load_checkpoint(fresh, path)
+        assert fresh.step_count == 25
+
+
+class TestCompatibility:
+    def test_wrong_grid_rejected(self, solver, tmp_path):
+        path = tmp_path / "c.npz"
+        save_checkpoint(solver, path)
+        other_geo = ChannelGeometry(shape=(14, 18), wall_axes=(1,))
+        other = MulticomponentLBM(
+            LBMConfig(
+                geometry=other_geo,
+                components=solver.config.components,
+                g_matrix=solver.config.g_matrix,
+                lattice=D2Q9,
+            )
+        )
+        with pytest.raises(ValueError, match="incompatible"):
+            load_checkpoint(other, path)
+
+    def test_wrong_components_rejected(self, solver, tmp_path, channel_2d):
+        path = tmp_path / "c.npz"
+        save_checkpoint(solver, path)
+        other = MulticomponentLBM(
+            LBMConfig(
+                geometry=channel_2d,
+                components=(ComponentSpec("water", tau=1.0),),
+                g_matrix=np.zeros((1, 1)),
+                lattice=D2Q9,
+            )
+        )
+        with pytest.raises(ValueError, match="incompatible"):
+            load_checkpoint(other, path)
+
+    def test_wrong_tau_rejected(self, solver, tmp_path, channel_2d):
+        path = tmp_path / "c.npz"
+        save_checkpoint(solver, path)
+        comps = (
+            ComponentSpec("water", tau=0.9, rho_init=1.0),
+            ComponentSpec("air", tau=1.0, rho_init=0.03),
+        )
+        other = MulticomponentLBM(
+            LBMConfig(
+                geometry=channel_2d,
+                components=comps,
+                g_matrix=solver.config.g_matrix,
+                lattice=D2Q9,
+            )
+        )
+        with pytest.raises(ValueError, match="incompatible"):
+            load_checkpoint(other, path)

@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+
+from repro.lbm.collision import collide, collide_masked
+from repro.lbm.equilibrium import equilibrium
+from repro.lbm.lattice import D2Q9
+
+
+def make_state(seed=0, shape=(5, 4)):
+    rng = np.random.default_rng(seed)
+    f = rng.uniform(0.01, 0.2, (D2Q9.Q, *shape))
+    rho = f.sum(axis=0)
+    u = np.tensordot(D2Q9.c.astype(float).T, f, axes=([1], [0])) / rho
+    feq = equilibrium(rho, u, D2Q9)
+    return f, feq
+
+
+class TestCollide:
+    def test_mass_conserved(self):
+        f, feq = make_state()
+        before = f.sum()
+        collide(f, feq, tau=0.8)
+        assert np.isclose(f.sum(), before)
+
+    def test_momentum_conserved(self):
+        f, feq = make_state()
+        c = D2Q9.c.astype(float)
+        before = np.einsum("k...,ka->a...", f, c).sum(axis=(1, 2))
+        collide(f, feq, tau=0.8)
+        after = np.einsum("k...,ka->a...", f, c).sum(axis=(1, 2))
+        assert np.allclose(before, after)
+
+    def test_tau_one_lands_on_equilibrium(self):
+        f, feq = make_state()
+        collide(f, feq, tau=1.0)
+        assert np.allclose(f, feq)
+
+    def test_relaxation_direction(self):
+        f, feq = make_state()
+        gap_before = np.abs(f - feq).max()
+        collide(f, feq, tau=2.0)
+        assert np.abs(f - feq).max() < gap_before
+
+    def test_invalid_tau(self):
+        f, feq = make_state()
+        with pytest.raises(ValueError):
+            collide(f, feq, tau=0.5)
+
+    def test_shape_mismatch(self):
+        f, feq = make_state()
+        with pytest.raises(ValueError):
+            collide(f, feq[:, :-1], tau=1.0)
+
+
+class TestCollideMasked:
+    def test_masked_nodes_untouched(self):
+        f, feq = make_state()
+        mask = np.zeros(f.shape[1:], dtype=bool)
+        mask[1:3, 1:3] = True
+        frozen = f[:, ~mask].copy()
+        collide_masked(f, feq, 1.0, mask)
+        assert np.array_equal(f[:, ~mask], frozen)
+        assert np.allclose(f[:, mask], feq[:, mask])
+
+    def test_all_true_equals_collide(self):
+        f1, feq = make_state(seed=2)
+        f2 = f1.copy()
+        collide(f1, feq.copy(), tau=0.9)
+        collide_masked(f2, feq.copy(), 0.9, np.ones(f2.shape[1:], dtype=bool))
+        assert np.allclose(f1, f2)
+
+    def test_mask_shape_checked(self):
+        f, feq = make_state()
+        with pytest.raises(ValueError, match="fluid_mask"):
+            collide_masked(f, feq, 1.0, np.ones((3, 3), dtype=bool))
+
+    def test_invalid_tau(self):
+        f, feq = make_state()
+        with pytest.raises(ValueError):
+            collide_masked(f, feq, 0.4, np.ones(f.shape[1:], dtype=bool))

@@ -1,0 +1,46 @@
+import pytest
+
+from repro.lbm.components import ComponentSpec, water_air_pair
+
+
+class TestComponentSpec:
+    def test_viscosity_formula(self):
+        assert ComponentSpec("w", tau=1.0).viscosity == pytest.approx(1.0 / 6.0)
+        assert ComponentSpec("w", tau=0.8).viscosity == pytest.approx(0.1)
+
+    def test_tau_must_exceed_half(self):
+        with pytest.raises(ValueError, match="1/2"):
+            ComponentSpec("w", tau=0.5)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ComponentSpec("")
+
+    def test_negative_density_rejected(self):
+        with pytest.raises(ValueError):
+            ComponentSpec("w", rho_init=-1.0)
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            ComponentSpec("w", mass=0.0)
+
+    def test_frozen(self):
+        spec = ComponentSpec("w")
+        with pytest.raises(AttributeError):
+            spec.tau = 2.0
+
+
+class TestWaterAirPair:
+    def test_names(self):
+        water, air = water_air_pair()
+        assert water.name == "water"
+        assert air.name == "air"
+
+    def test_air_is_dilute(self):
+        water, air = water_air_pair()
+        assert air.rho_init < 0.1 * water.rho_init
+
+    def test_overrides(self):
+        water, air = water_air_pair(tau_water=0.9, rho_air=0.05)
+        assert water.tau == 0.9
+        assert air.rho_init == 0.05

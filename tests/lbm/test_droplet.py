@@ -1,0 +1,80 @@
+"""Laplace-law validation of the two-component Shan-Chen coupling:
+a suspended droplet's pressure jump scales like sigma / R."""
+
+import numpy as np
+import pytest
+
+from repro.lbm.multiphase import (
+    droplet_config,
+    laplace_pressure_jump,
+    mixture_pressure,
+    run_droplet,
+)
+
+
+def measured_radius(solver) -> float:
+    rho = solver.rho[0]
+    threshold = 0.5 * (rho.max() + rho.min())
+    return float(np.sqrt((rho > threshold).sum() / np.pi))
+
+
+@pytest.fixture(scope="module")
+def droplets():
+    """Two relaxed droplets of different radii at a solidly immiscible
+    coupling (g = 1.3; weaker couplings let small droplets dissolve)."""
+    out = []
+    for radius in (12.0, 18.0):
+        cfg = droplet_config(64, g_cross=1.3)
+        solver = run_droplet(cfg, radius, steps=4000)
+        out.append(solver)
+    return out
+
+
+class TestLaplaceLaw:
+    def test_pressure_higher_inside(self, droplets):
+        for solver in droplets:
+            assert laplace_pressure_jump(solver) > 0
+
+    def test_smaller_droplet_higher_pressure(self, droplets):
+        small, large = droplets
+        dp_small = laplace_pressure_jump(small) / 1
+        dp_large = laplace_pressure_jump(large)
+        assert measured_radius(small) < measured_radius(large)
+        assert dp_small > dp_large
+
+    def test_surface_tension_consistent(self, droplets):
+        """sigma = dp * R must agree across radii (Laplace's law)."""
+        sigmas = [
+            laplace_pressure_jump(s) * measured_radius(s) for s in droplets
+        ]
+        assert sigmas[0] == pytest.approx(sigmas[1], rel=0.35)
+
+    def test_droplet_survives(self, droplets):
+        for solver in droplets:
+            assert measured_radius(solver) > 5.0
+
+    def test_mass_conserved(self, droplets):
+        for solver in droplets:
+            # Total mass fixed by the tanh initialization.
+            assert np.isfinite(solver.total_mass())
+            assert solver.total_mass() > 0
+
+
+class TestMixturePressure:
+    def test_uniform_state_pressure(self):
+        """On the uniform initial mixture the pressure field equals the
+        closed form cs2 (rho_w + rho_a) + cs2 g rho_w rho_a everywhere."""
+        from repro.lbm.solver import MulticomponentLBM
+
+        cfg0 = droplet_config(16, g_cross=1.3)
+        s = MulticomponentLBM(cfg0)
+        p = mixture_pressure(s)
+        cs2 = cfg0.lattice.cs2
+        rho_tot = 1.0 + 0.03
+        expected = cs2 * rho_tot + cs2 * 1.3 * 1.0 * 0.03
+        assert np.allclose(p, expected)
+
+    def test_run_droplet_radius_validated(self):
+        cfg = droplet_config(32)
+        with pytest.raises(ValueError, match="radius"):
+            run_droplet(cfg, 30.0, steps=10)

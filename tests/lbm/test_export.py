@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from repro.lbm.diagnostics import Profile, density_profile
+from repro.lbm.export import (
+    export_fields_npz,
+    export_profile_csv,
+    export_vtk,
+    read_profile_csv,
+)
+from repro.lbm.solver import MulticomponentLBM
+
+
+@pytest.fixture
+def solver(two_component_config):
+    s = MulticomponentLBM(two_component_config)
+    s.run(10)
+    return s
+
+
+class TestNpz:
+    def test_fields_saved(self, solver, tmp_path):
+        path = tmp_path / "fields.npz"
+        export_fields_npz(solver, path)
+        with np.load(path, allow_pickle=False) as data:
+            assert np.array_equal(data["rho"], solver.rho)
+            assert np.array_equal(data["velocity"], solver.velocity())
+            assert data["step_count"] == 10
+            assert list(data["component_names"]) == ["water", "air"]
+
+
+class TestProfileCsv:
+    def test_round_trip(self, solver, tmp_path):
+        prof = density_profile(solver, "water")
+        path = tmp_path / "profile.csv"
+        export_profile_csv(prof, path, value_name="rho_water")
+        back = read_profile_csv(path)
+        assert np.allclose(back.positions, prof.positions)
+        assert np.allclose(back.values, prof.values, rtol=1e-9)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="profile CSV"):
+            read_profile_csv(path)
+
+
+class TestVtk:
+    def test_2d_written(self, solver, tmp_path):
+        path = tmp_path / "out.vtk"
+        export_vtk(solver, path)
+        text = path.read_text()
+        assert "STRUCTURED_POINTS" in text
+        nx, ny = solver.config.geometry.shape
+        assert f"DIMENSIONS {nx} {ny} 1" in text
+        assert "SCALARS rho_water" in text
+        assert "SCALARS rho_air" in text
+        assert "VECTORS velocity" in text
+
+    def test_point_count_consistent(self, solver, tmp_path):
+        path = tmp_path / "out.vtk"
+        export_vtk(solver, path)
+        lines = path.read_text().splitlines()
+        n_points = int(
+            next(l for l in lines if l.startswith("POINT_DATA")).split()[1]
+        )
+        nx, ny = solver.config.geometry.shape
+        assert n_points == nx * ny
+        # Scalar section has exactly n_points values.
+        idx = lines.index("LOOKUP_TABLE default")
+        scalars = lines[idx + 1 : idx + 1 + n_points]
+        assert all(_is_float(v) for v in scalars)
+
+    def test_3d_written(self, two_component_config_3d, tmp_path):
+        solver = MulticomponentLBM(two_component_config_3d)
+        solver.run(3)
+        path = tmp_path / "out3d.vtk"
+        export_vtk(solver, path)
+        text = path.read_text()
+        nx, ny, nz = two_component_config_3d.geometry.shape
+        assert f"DIMENSIONS {nx} {ny} {nz}" in text
+
+
+def _is_float(s: str) -> bool:
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,94 @@
+import numpy as np
+import pytest
+
+from repro.lbm.forces import WallForceSpec, body_force_field, wall_force_field
+from repro.lbm.geometry import ChannelGeometry
+
+
+class TestWallForceSpec:
+    def test_defaults_match_paper(self):
+        spec = WallForceSpec()
+        assert spec.amplitude == 0.2
+        assert spec.decay_length == 2.5  # 12.5 nm at 5 nm spacing
+        assert spec.component == "water"
+
+    def test_negative_amplitude_rejected(self):
+        with pytest.raises(ValueError):
+            WallForceSpec(amplitude=-0.1)
+
+    def test_zero_decay_rejected(self):
+        with pytest.raises(ValueError):
+            WallForceSpec(decay_length=0.0)
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(ValueError):
+            WallForceSpec(component="")
+
+
+class TestWallForceField:
+    def geo(self, ny=17):
+        return ChannelGeometry(shape=(4, ny), wall_axes=(1,))
+
+    def test_shape(self):
+        field = wall_force_field(self.geo(), WallForceSpec())
+        assert field.shape == (2, 4, 17)
+
+    def test_points_away_from_walls(self):
+        field = wall_force_field(self.geo(), WallForceSpec(amplitude=0.1))
+        fy = field[1, 0]
+        assert fy[1] > 0  # pushed up from low wall
+        assert fy[-2] < 0  # pushed down from high wall
+
+    def test_antisymmetric(self):
+        field = wall_force_field(self.geo(), WallForceSpec(amplitude=0.1))
+        fy = field[1, 0]
+        assert np.allclose(fy, -fy[::-1])
+
+    def test_zero_on_centerline(self):
+        field = wall_force_field(self.geo(), WallForceSpec(amplitude=0.1))
+        assert np.isclose(field[1, 0, 8], 0.0)
+
+    def test_zero_in_solid(self):
+        field = wall_force_field(self.geo(), WallForceSpec(amplitude=0.1))
+        assert field[1, 0, 0] == 0.0 and field[1, 0, -1] == 0.0
+
+    def test_exponential_decay(self):
+        spec = WallForceSpec(amplitude=0.1, decay_length=2.0)
+        field = wall_force_field(self.geo(ny=33), spec)
+        fy = field[1, 0]
+        # Far from the opposite wall, ratio of consecutive nodes ~ e^{-1/2}.
+        ratio = fy[3] / fy[2]
+        assert np.isclose(ratio, np.exp(-0.5), rtol=0.05)
+
+    def test_amplitude_at_surface(self):
+        spec = WallForceSpec(amplitude=0.3, decay_length=2.0)
+        field = wall_force_field(self.geo(ny=33), spec)
+        # First fluid node sits 0.5 from the surface.
+        assert np.isclose(
+            field[1, 0, 1], 0.3 * np.exp(-0.25), rtol=0.02
+        )
+
+    def test_zero_amplitude_zero_field(self):
+        field = wall_force_field(self.geo(), WallForceSpec(amplitude=0.0))
+        assert not field.any()
+
+    def test_3d_both_wall_pairs(self):
+        geo = ChannelGeometry(shape=(4, 9, 7))
+        field = wall_force_field(geo, WallForceSpec(amplitude=0.1))
+        assert field[1].any()  # y component present
+        assert field[2].any()  # z component present
+        assert not field[0].any()  # no streamwise wall force
+
+
+class TestBodyForceField:
+    def test_uniform_on_fluid(self):
+        geo = ChannelGeometry(shape=(4, 9), wall_axes=(1,))
+        field = body_force_field(geo, (1e-5, 0.0))
+        fluid = geo.fluid_mask()
+        assert np.allclose(field[0][fluid], 1e-5)
+        assert np.allclose(field[0][~fluid], 0.0)
+
+    def test_dimension_checked(self):
+        geo = ChannelGeometry(shape=(4, 9), wall_axes=(1,))
+        with pytest.raises(ValueError):
+            body_force_field(geo, (1e-5, 0.0, 0.0))

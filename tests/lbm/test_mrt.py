@@ -1,0 +1,203 @@
+import numpy as np
+import pytest
+
+from repro.lbm.components import ComponentSpec
+from repro.lbm.diagnostics import velocity_profile
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import D2Q9, D3Q19
+from repro.lbm.mrt import (
+    MRTCollision,
+    MRTRelaxationRates,
+    equilibrium_moments,
+    moment_matrix,
+)
+from repro.lbm.solver import LBMConfig, MulticomponentLBM
+
+
+class TestMomentMatrix:
+    def test_rows_orthogonal(self):
+        """The Gram-Schmidt basis is orthogonal under the plain dot
+        product (M M^T diagonal)."""
+        M = moment_matrix(D2Q9)
+        gram = M @ M.T
+        off = gram - np.diag(np.diag(gram))
+        assert np.allclose(off, 0.0)
+
+    def test_invertible(self):
+        M = moment_matrix(D2Q9)
+        assert np.allclose(np.linalg.inv(M) @ M, np.eye(9), atol=1e-12)
+
+    def test_first_row_is_density(self):
+        M = moment_matrix(D2Q9)
+        assert np.allclose(M[0], 1.0)
+
+    def test_momentum_rows(self):
+        M = moment_matrix(D2Q9)
+        assert np.allclose(M[3], D2Q9.c[:, 0])
+        assert np.allclose(M[5], D2Q9.c[:, 1])
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="D2Q9"):
+            moment_matrix(D3Q19)
+
+
+class TestEquilibriumMoments:
+    def test_matches_bgk_equilibrium_moments(self):
+        """m_eq must equal M @ feq_BGK for the conserved + stress moments."""
+        from repro.lbm.equilibrium import equilibrium
+
+        rng = np.random.default_rng(0)
+        rho = rng.uniform(0.5, 1.5, (4, 4))
+        u = rng.uniform(-0.05, 0.05, (2, 4, 4))
+        feq = equilibrium(rho, u, D2Q9)
+        M = moment_matrix(D2Q9)
+        m_from_feq = np.tensordot(M, feq, axes=([1], [0]))
+        m_eq = equilibrium_moments(rho, u)
+        # rho, j_x, j_y exact:
+        for k in (0, 3, 5):
+            assert np.allclose(m_eq[k], m_from_feq[k], atol=1e-12)
+        # stress moments match to O(u^3):
+        for k in (7, 8):
+            assert np.allclose(m_eq[k], m_from_feq[k], atol=1e-4)
+
+
+class TestRates:
+    def test_viscosity_matches_bgk(self):
+        rates = MRTRelaxationRates.from_tau(0.8)
+        assert rates.viscosity == pytest.approx((2 * 0.8 - 1) / 6)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            MRTRelaxationRates(s_nu=2.0)
+        with pytest.raises(ValueError):
+            MRTRelaxationRates(s_nu=1.0, s_e=0.0)
+        with pytest.raises(ValueError):
+            MRTRelaxationRates.from_tau(0.5)
+
+
+class TestCollision:
+    def random_state(self, seed=0):
+        rng = np.random.default_rng(seed)
+        f = rng.uniform(0.05, 0.3, (9, 5, 5))
+        rho = f.sum(axis=0)
+        u = np.tensordot(D2Q9.c.astype(float).T, f, axes=([1], [0])) / rho
+        return f, rho, u
+
+    def test_conserves_mass_and_momentum(self):
+        f, rho, u = self.random_state()
+        mass0 = f.sum()
+        mom0 = np.tensordot(D2Q9.c.astype(float).T, f, axes=([1], [0])).copy()
+        MRTCollision(MRTRelaxationRates.from_tau(0.8)).collide(f, rho, u)
+        assert f.sum() == pytest.approx(mass0)
+        mom1 = np.tensordot(D2Q9.c.astype(float).T, f, axes=([1], [0]))
+        assert np.allclose(mom1, mom0, atol=1e-12)
+
+    def test_bgk_equivalent_rates_match_bgk(self):
+        """With every rate = 1/tau, MRT reduces to BGK exactly up to the
+        difference between the quadratic feq and the moment-space m_eq
+        (O(u^3)); at u = 0 the match is exact."""
+        from repro.lbm.equilibrium import equilibrium
+        from repro.lbm.collision import collide
+
+        rng = np.random.default_rng(1)
+        f1 = rng.uniform(0.05, 0.3, (9, 4, 4))
+        f2 = f1.copy()
+        rho = f1.sum(axis=0)
+        u = np.zeros((2, 4, 4))
+        tau = 0.9
+        feq = equilibrium(rho, u, D2Q9)
+        collide(f1, feq, tau)
+        MRTCollision(MRTRelaxationRates.bgk_equivalent(tau)).collide(f2, rho, u)
+        assert np.allclose(f1, f2, atol=1e-12)
+
+    def test_mask_respected(self):
+        f, rho, u = self.random_state(seed=2)
+        mask = np.ones((5, 5))
+        mask[0] = 0.0
+        frozen = f[:, 0].copy()
+        MRTCollision(MRTRelaxationRates.from_tau(1.0)).collide(
+            f, rho, u, fluid_mask=mask
+        )
+        assert np.array_equal(f[:, 0], frozen)
+
+
+class TestSolverIntegration:
+    def poiseuille(self, collision):
+        geo = ChannelGeometry(shape=(8, 22), wall_axes=(1,))
+        comp = ComponentSpec("w", tau=0.8)
+        cfg = LBMConfig(
+            geometry=geo,
+            components=(comp,),
+            g_matrix=np.zeros((1, 1)),
+            lattice=D2Q9,
+            body_acceleration=(1e-5, 0.0),
+            collision=collision,
+        )
+        solver = MulticomponentLBM(cfg)
+        solver.run(2500)
+        return solver, comp, geo
+
+    def test_mrt_poiseuille_matches_analytic(self):
+        solver, comp, geo = self.poiseuille("mrt")
+        prof = velocity_profile(solver)
+        width = geo.channel_width(1)
+        analytic = 1e-5 / (2 * comp.viscosity) * prof.positions * (
+            width - prof.positions
+        )
+        err = np.abs(prof.values - analytic).max() / analytic.max()
+        assert err < 0.02
+
+    def test_mrt_and_bgk_agree(self):
+        u_mrt = velocity_profile(self.poiseuille("mrt")[0]).values
+        u_bgk = velocity_profile(self.poiseuille("bgk")[0]).values
+        assert np.allclose(u_mrt, u_bgk, rtol=0.02)
+
+    def test_mrt_requires_d2q9(self):
+        geo = ChannelGeometry(shape=(6, 6, 6))
+        with pytest.raises(ValueError, match="D2Q9"):
+            LBMConfig(
+                geometry=geo,
+                components=(ComponentSpec("w"),),
+                g_matrix=np.zeros((1, 1)),
+                lattice=D3Q19,
+                collision="mrt",
+            )
+
+    def test_unknown_collision_rejected(self):
+        geo = ChannelGeometry(shape=(6, 8), wall_axes=(1,))
+        with pytest.raises(ValueError, match="collision"):
+            LBMConfig(
+                geometry=geo,
+                components=(ComponentSpec("w"),),
+                g_matrix=np.zeros((1, 1)),
+                lattice=D2Q9,
+                collision="srt",
+            )
+
+    def test_mrt_more_stable_at_low_viscosity(self):
+        """The canonical MRT benefit: at tau barely above 1/2, a noisy
+        initial velocity field blows BGK up while MRT's damped ghost modes
+        keep the run stable."""
+
+        def run(collision):
+            geo = ChannelGeometry(shape=(32, 32), wall_axes=())
+            cfg = LBMConfig(
+                geometry=geo,
+                components=(ComponentSpec("w", tau=0.505),),
+                g_matrix=np.zeros((1, 1)),
+                lattice=D2Q9,
+                collision=collision,
+            )
+            solver = MulticomponentLBM(cfg)
+            rng = np.random.default_rng(0)
+            u = 0.1 * rng.standard_normal((2, 32, 32))
+            solver.initialize_equilibrium(np.ones((1, 32, 32)), u)
+            try:
+                with np.errstate(all="ignore"):
+                    solver.run(800, check_interval=25)
+            except FloatingPointError:
+                return False
+            return bool(np.isfinite(solver.f).all())
+
+        assert run("mrt")
+        assert not run("bgk")

@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+
+from repro.lbm.multiphase import (
+    CRITICAL_G,
+    CRITICAL_RHO,
+    density_contrast,
+    equation_of_state,
+    is_subcritical,
+    measure_coexistence,
+    phase_separation_config,
+    run_phase_separation,
+)
+
+
+@pytest.fixture(scope="module")
+def separated_solver():
+    cfg = phase_separation_config((48, 48), g=-5.0)
+    return run_phase_separation(cfg, steps=1500, seed=0)
+
+
+class TestEquationOfState:
+    def test_ideal_gas_limit(self):
+        # g = 0 -> p = cs2 rho.
+        assert equation_of_state(0.9, 0.0) == pytest.approx(0.3, rel=1e-6)
+
+    def test_attraction_lowers_pressure(self):
+        assert equation_of_state(0.7, -5.0) < equation_of_state(0.7, 0.0)
+
+    def test_non_monotone_below_critical(self):
+        """Subcritical EOS has a van-der-Waals loop (dp/drho < 0 region)."""
+        rho = np.linspace(0.05, 3.0, 400)
+        p = equation_of_state(rho, -5.0)
+        assert (np.diff(p) < 0).any()
+
+    def test_monotone_above_critical(self):
+        rho = np.linspace(0.05, 3.0, 400)
+        p = equation_of_state(rho, -3.0)
+        assert (np.diff(p) > 0).all()
+
+    def test_critical_point_constants(self):
+        assert CRITICAL_G == -4.0
+        assert CRITICAL_RHO == pytest.approx(np.log(2))
+
+    def test_is_subcritical(self):
+        assert is_subcritical(-5.0)
+        assert not is_subcritical(-4.0)
+        assert not is_subcritical(-3.0)
+
+
+class TestConfig:
+    def test_supercritical_rejected(self):
+        with pytest.raises(ValueError, match="critical"):
+            phase_separation_config(g=-3.0)
+
+    def test_periodic_box(self):
+        cfg = phase_separation_config((32, 32))
+        assert cfg.geometry.wall_axes == ()
+        assert not cfg.geometry.solid_mask().any()
+
+
+class TestSeparation:
+    def test_two_phases_form(self, separated_solver):
+        vapour, liquid = measure_coexistence(separated_solver)
+        assert liquid > 1.5
+        assert vapour < 0.3
+
+    def test_known_coexistence_densities(self, separated_solver):
+        """The standard S-C benchmark: at g = -5, rho0 = 1 the coexistence
+        densities are approximately 0.16 and 1.95."""
+        vapour, liquid = measure_coexistence(separated_solver)
+        assert vapour == pytest.approx(0.16, abs=0.05)
+        assert liquid == pytest.approx(1.95, abs=0.15)
+
+    def test_contrast_large(self, separated_solver):
+        assert density_contrast(separated_solver) > 5.0
+
+    def test_mass_conserved(self, separated_solver):
+        total = separated_solver.total_mass()
+        expected = 0.7 * 48 * 48
+        assert total == pytest.approx(expected, rel=0.02)
+
+    def test_bulk_pressures_close(self, separated_solver):
+        """Mechanical equilibrium: the EOS pressure of the two bulk phases
+        agrees to within the curvature/spurious-current tolerance."""
+        vapour, liquid = measure_coexistence(separated_solver)
+        pv = float(equation_of_state(vapour, -5.0))
+        pl = float(equation_of_state(liquid, -5.0))
+        assert pl == pytest.approx(pv, rel=0.15)
+
+    def test_no_separation_without_noise(self):
+        """A perfectly uniform subcritical state is an (unstable) fixed
+        point: without perturbations nothing happens."""
+        cfg = phase_separation_config((24, 24), g=-5.0)
+        solver = run_phase_separation(cfg, steps=200, noise=0.0)
+        assert density_contrast(solver) < 1.05
+
+    def test_seed_reproducible(self):
+        cfg = phase_separation_config((24, 24), g=-4.6)
+        a = run_phase_separation(cfg, steps=300, seed=7)
+        b = run_phase_separation(cfg, steps=300, seed=7)
+        assert np.array_equal(a.f, b.f)
+
+
+class TestMeasureCoexistence:
+    def test_quantile_validated(self, separated_solver):
+        with pytest.raises(ValueError):
+            measure_coexistence(separated_solver, quantile=0.0)
+        with pytest.raises(ValueError):
+            measure_coexistence(separated_solver, quantile=0.6)

@@ -1,0 +1,157 @@
+import numpy as np
+import pytest
+
+from repro.lbm.components import ComponentSpec
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import D2Q9, D3Q19
+from repro.lbm.obstacles import MaskedGeometry, cylinder_mask, momentum_exchange
+from repro.lbm.solver import LBMConfig, MulticomponentLBM
+
+
+class TestCylinderMask:
+    def test_2d_disk(self):
+        mask = cylinder_mask((20, 20), (10.0, 10.0), 3.0)
+        assert mask[10, 10]
+        assert mask[12, 10]
+        assert not mask[14, 10]
+        assert not mask[0, 0]
+
+    def test_area_approximates_circle(self):
+        mask = cylinder_mask((64, 64), (32.0, 32.0), 10.0)
+        assert mask.sum() == pytest.approx(np.pi * 100, rel=0.05)
+
+    def test_3d_post_spans_axis(self):
+        mask = cylinder_mask((16, 16, 8), (8.0, 8.0), 3.0)
+        # Same cross-section at every z.
+        for z in range(8):
+            assert np.array_equal(mask[:, :, z], mask[:, :, 0])
+
+    def test_3d_axis_choice(self):
+        mask = cylinder_mask((16, 10, 12), (5.0, 6.0), 2.0, axis=0)
+        for x in range(16):
+            assert np.array_equal(mask[x], mask[0])
+
+    def test_center_length_checked(self):
+        with pytest.raises(ValueError, match="center"):
+            cylinder_mask((16, 16, 8), (8.0, 8.0, 4.0), 3.0)
+
+    def test_radius_positive(self):
+        with pytest.raises(ValueError):
+            cylinder_mask((10, 10), (5.0, 5.0), 0.0)
+
+
+class TestMaskedGeometry:
+    def test_union_with_walls(self):
+        mask = cylinder_mask((20, 14), (10.0, 7.0), 2.0)
+        geo = MaskedGeometry((20, 14), mask, wall_axes=(1,))
+        solid = geo.solid_mask()
+        assert solid[:, 0].all()  # walls still there
+        assert solid[10, 7]  # obstacle too
+
+    def test_obstacle_only_periodic_box(self):
+        mask = cylinder_mask((20, 20), (10.0, 10.0), 3.0)
+        geo = MaskedGeometry((20, 20), mask, wall_axes=())
+        solid = geo.solid_mask()
+        assert solid.sum() == mask.sum()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            MaskedGeometry((20, 14), np.zeros((20, 15), dtype=bool))
+
+    def test_full_domain_rejected(self):
+        with pytest.raises(ValueError, match="whole domain"):
+            MaskedGeometry((6, 6), np.ones((6, 6), dtype=bool), wall_axes=())
+
+    def test_equality_includes_mask(self):
+        m1 = cylinder_mask((20, 14), (10.0, 7.0), 2.0)
+        m2 = cylinder_mask((20, 14), (5.0, 7.0), 2.0)
+        a = MaskedGeometry((20, 14), m1, wall_axes=(1,))
+        b = MaskedGeometry((20, 14), m1, wall_axes=(1,))
+        c = MaskedGeometry((20, 14), m2, wall_axes=(1,))
+        assert a == b
+        assert a != c
+
+
+class TestMomentumExchange:
+    def test_single_population_force(self):
+        f = np.zeros((9, 5, 5))
+        solid = np.zeros((5, 5), dtype=bool)
+        solid[2, 2] = True
+        k = next(i for i in range(9) if np.array_equal(D2Q9.c[i], [1, 0]))
+        f[k, 2, 2] = 0.5  # arrived at the solid, about to reflect
+        force = momentum_exchange(f, solid, D2Q9)
+        assert np.allclose(force, [1.0, 0.0])  # 2 * 0.5 * (1, 0)
+
+    def test_no_solid_zero_force(self):
+        f = np.random.default_rng(0).random((9, 4, 4))
+        force = momentum_exchange(f, np.zeros((4, 4), dtype=bool), D2Q9)
+        assert np.allclose(force, 0.0)
+
+    def test_component_stack_summed(self):
+        f = np.zeros((2, 9, 4, 4))
+        solid = np.zeros((4, 4), dtype=bool)
+        solid[1, 1] = True
+        k = next(i for i in range(9) if np.array_equal(D2Q9.c[i], [0, 1]))
+        f[0, k, 1, 1] = 1.0
+        f[1, k, 1, 1] = 2.0
+        force = momentum_exchange(f, solid, D2Q9)
+        assert np.allclose(force, [0.0, 6.0])
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            momentum_exchange(
+                np.zeros((9, 4, 4)), np.zeros((3, 4), dtype=bool), D2Q9
+            )
+
+
+class TestCylinderFlow:
+    @pytest.fixture(scope="class")
+    def flow(self):
+        shape = (60, 34)
+        mask = cylinder_mask(shape, (15.0, 16.5), 4.0)
+        geo = MaskedGeometry(shape, mask, wall_axes=(1,))
+        cfg = LBMConfig(
+            geometry=geo,
+            components=(ComponentSpec("w", tau=0.6),),
+            g_matrix=np.zeros((1, 1)),
+            lattice=D2Q9,
+            body_acceleration=(2e-6, 0.0),
+        )
+        solver = MulticomponentLBM(cfg)
+        solver.track_wall_momentum = True
+        solver.run(3000, check_interval=500)
+        return solver, geo
+
+    def test_obstacle_core_stays_empty(self, flow):
+        """Populations only ever reach the obstacle's outermost solid
+        layer (they reflect before penetrating); the core keeps the zero
+        initialization."""
+        solver, geo = flow
+        assert solver.rho[0][15, 16] == 0.0  # cylinder centre
+        assert solver.rho[0][15, 17] == 0.0
+
+    def test_wake_behind_cylinder(self, flow):
+        solver, _ = flow
+        u = solver.velocity()[0]
+        behind = u[22, 16]
+        downstream = u[45, 16]
+        assert behind < 0.5 * downstream
+
+    def test_drag_positive_lift_zero(self, flow):
+        solver, _ = flow
+        drag = solver.last_wall_momentum
+        assert drag[0] > 0
+        assert abs(drag[1]) < 1e-6 * drag[0]  # symmetric setup
+
+    def test_momentum_balance_at_steady_state(self, flow):
+        """At steady state the wall drag absorbs the body-force input."""
+        solver, _ = flow
+        input_per_step = 2e-6 * solver.rho[0][solver.fluid].sum()
+        assert solver.last_wall_momentum[0] == pytest.approx(
+            input_per_step, rel=0.1
+        )
+
+    def test_mass_conserved(self, flow):
+        solver, geo = flow
+        fluid_nodes = int(geo.fluid_mask().sum())
+        assert solver.total_mass() == pytest.approx(fluid_nodes * 1.0, rel=1e-10)

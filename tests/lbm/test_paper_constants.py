@@ -1,0 +1,44 @@
+"""Cross-checks between the paper's stated constants wherever they appear
+in the codebase — the numbers must agree with each other."""
+
+import pytest
+
+from repro.cluster.costmodel import PAPER_COST_MODEL
+from repro.lbm.forces import WallForceSpec
+from repro.lbm.units import (
+    PAPER_CHANNEL_SIZE,
+    PAPER_DECAY_LENGTH,
+    PAPER_GRID_SHAPE,
+    PAPER_UNITS,
+)
+
+
+class TestConstantConsistency:
+    def test_decay_length_matches_wall_force_default(self):
+        """12.5 nm at 5 nm spacing = the WallForceSpec default of 2.5."""
+        lattice_decay = PAPER_UNITS.to_lattice_length(PAPER_DECAY_LENGTH)
+        assert WallForceSpec().decay_length == pytest.approx(lattice_decay)
+
+    def test_grid_is_channel_over_spacing(self):
+        for n, size in zip(PAPER_GRID_SHAPE, PAPER_CHANNEL_SIZE):
+            assert n == pytest.approx(PAPER_UNITS.to_lattice_length(size))
+
+    def test_cluster_cross_section_matches_grid(self):
+        """The cost model's plane size and exchange bytes assume the
+        paper's 200 x 20 cross-section."""
+        ny, nz = PAPER_GRID_SHAPE[1], PAPER_GRID_SHAPE[2]
+        assert ny * nz == 4000
+        assert PAPER_COST_MODEL.exchange1_bytes == 5 * 2 * ny * nz * 8
+        assert PAPER_COST_MODEL.exchange2_bytes == 2 * ny * nz * 8
+
+    def test_plane_bytes_matches_d3q19(self):
+        ny, nz = PAPER_GRID_SHAPE[1], PAPER_GRID_SHAPE[2]
+        assert PAPER_COST_MODEL.plane_bytes == ny * nz * 19 * 2 * 8
+
+    def test_sequential_time_matches_abstract(self):
+        """43.56 hours for 20 000 phases of the full grid."""
+        total_points = 1
+        for n in PAPER_GRID_SHAPE:
+            total_points *= n
+        seconds = PAPER_COST_MODEL.compute_work(total_points) * 20_000
+        assert seconds / 3600 == pytest.approx(43.56, rel=0.01)

@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+
+from repro.parallel.decomposition import SlabDecomposition, slab_shape
+
+
+class TestSlabShape:
+    def test_adds_ghosts(self):
+        assert slab_shape(5, (8, 4)) == (7, 8, 4)
+
+    def test_minimum_one_plane(self):
+        with pytest.raises(ValueError):
+            slab_shape(0, (8,))
+
+
+class TestSlabDecomposition:
+    def test_start_end(self):
+        d = SlabDecomposition([3, 4, 5])
+        assert (d.start(0), d.end(0)) == (0, 3)
+        assert (d.start(1), d.end(1)) == (3, 7)
+        assert (d.start(2), d.end(2)) == (7, 12)
+        assert d.total_planes == 12
+
+    def test_ring_neighbours(self):
+        d = SlabDecomposition([2, 2, 2])
+        assert d.left_neighbour(0) == 2
+        assert d.right_neighbour(2) == 0
+        assert d.right_neighbour(0) == 1
+
+    def test_global_slice(self):
+        d = SlabDecomposition([3, 4])
+        arr = np.arange(7)
+        assert arr[d.global_slice(1)].tolist() == [3, 4, 5, 6]
+
+    def test_adjust(self):
+        d = SlabDecomposition([3, 4])
+        d.adjust(0, -2)
+        assert d.planes(0) == 1
+        with pytest.raises(ValueError):
+            d.adjust(0, -1)
+
+    def test_zero_planes_rejected(self):
+        with pytest.raises(ValueError):
+            SlabDecomposition([3, 0])
+
+    def test_rank_range_checked(self):
+        d = SlabDecomposition([3, 4])
+        with pytest.raises(IndexError):
+            d.start(2)
+
+    def test_assemble(self):
+        d = SlabDecomposition([2, 3])
+        pieces = [np.zeros((2, 4)), np.ones((3, 4))]
+        out = d.assemble(pieces)
+        assert out.shape == (5, 4)
+        assert out[0, 0] == 0 and out[-1, 0] == 1
+
+    def test_assemble_wrong_counts(self):
+        d = SlabDecomposition([2, 3])
+        with pytest.raises(ValueError):
+            d.assemble([np.zeros((1, 4)), np.ones((3, 4))])
+
+    def test_interior_slice(self):
+        d = SlabDecomposition([4])
+        arr = np.arange(6)
+        assert arr[d.interior()].tolist() == [1, 2, 3, 4]

@@ -1,0 +1,206 @@
+import numpy as np
+import pytest
+
+from repro.core.policies import RemappingConfig
+from repro.lbm.components import ComponentSpec
+from repro.lbm.forces import WallForceSpec
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import D2Q9, D3Q19
+from repro.lbm.solver import LBMConfig, MulticomponentLBM
+from repro.parallel.driver import (
+    ParallelLBM,
+    assemble_global_f,
+    run_parallel_lbm,
+)
+from repro.parallel.threads import run_spmd
+
+
+def small_config(nx=20, ny=14, with_forces=True):
+    geo = ChannelGeometry(shape=(nx, ny), wall_axes=(1,))
+    comps = (
+        ComponentSpec("water", tau=1.0, rho_init=1.0),
+        ComponentSpec("air", tau=1.0, rho_init=0.03),
+    )
+    return LBMConfig(
+        geometry=geo,
+        components=comps,
+        g_matrix=np.array([[0.0, 0.9], [0.9, 0.0]]),
+        lattice=D2Q9,
+        wall_force=WallForceSpec(amplitude=0.03) if with_forces else None,
+        body_acceleration=(1e-6, 0.0),
+    )
+
+
+def slow_rank_load_fn(slow_rank, avail=0.35):
+    def fn(rank, phase, points):
+        t = points * 1e-6
+        return t / avail if rank == slow_rank else t
+
+    return fn
+
+
+class TestSequentialEquivalence:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 5])
+    def test_static_bitwise_equal(self, n_ranks):
+        cfg = small_config()
+        seq = MulticomponentLBM(cfg)
+        seq.run(25)
+        results = run_parallel_lbm(n_ranks, cfg, 25, policy="no-remap")
+        assert np.array_equal(assemble_global_f(results), seq.f)
+
+    def test_migrating_bitwise_equal(self):
+        cfg = small_config()
+        seq = MulticomponentLBM(cfg)
+        seq.run(40)
+        results = run_parallel_lbm(
+            4,
+            cfg,
+            40,
+            policy="filtered",
+            remap_config=RemappingConfig(interval=5, history=5),
+            load_time_fn=slow_rank_load_fn(1),
+        )
+        assert np.array_equal(assemble_global_f(results), seq.f)
+
+    def test_global_policy_bitwise_equal(self):
+        cfg = small_config()
+        seq = MulticomponentLBM(cfg)
+        seq.run(30)
+        results = run_parallel_lbm(
+            3,
+            cfg,
+            30,
+            policy="global",
+            remap_config=RemappingConfig(interval=5, history=5),
+            load_time_fn=slow_rank_load_fn(2),
+        )
+        assert np.array_equal(assemble_global_f(results), seq.f)
+
+    def test_3d_equivalence(self):
+        geo = ChannelGeometry(shape=(9, 8, 6))
+        comps = (
+            ComponentSpec("water", tau=1.0, rho_init=1.0),
+            ComponentSpec("air", tau=1.0, rho_init=0.03),
+        )
+        cfg = LBMConfig(
+            geometry=geo,
+            components=comps,
+            g_matrix=np.array([[0.0, 0.9], [0.9, 0.0]]),
+            lattice=D3Q19,
+            wall_force=WallForceSpec(amplitude=0.02),
+            body_acceleration=(1e-6, 0.0, 0.0),
+        )
+        seq = MulticomponentLBM(cfg)
+        seq.run(15)
+        results = run_parallel_lbm(3, cfg, 15, policy="no-remap")
+        assert np.array_equal(assemble_global_f(results), seq.f)
+
+
+class TestMigrationBehaviour:
+    def test_slow_rank_evacuated(self):
+        cfg = small_config()
+        results = run_parallel_lbm(
+            4,
+            cfg,
+            40,
+            policy="filtered",
+            remap_config=RemappingConfig(interval=5, history=5),
+            load_time_fn=slow_rank_load_fn(1),
+        )
+        by_rank = sorted(results, key=lambda r: r.rank)
+        assert by_rank[1].plane_count == 1
+        assert by_rank[1].planes_sent >= 3
+
+    def test_plane_conservation(self):
+        cfg = small_config()
+        results = run_parallel_lbm(
+            4,
+            cfg,
+            40,
+            policy="filtered",
+            remap_config=RemappingConfig(interval=5, history=5),
+            load_time_fn=slow_rank_load_fn(2),
+        )
+        assert sum(r.plane_count for r in results) == 20
+
+    def test_mass_conservation_across_migration(self):
+        cfg = small_config()
+        seq = MulticomponentLBM(cfg)
+        m0 = seq.total_mass()
+        results = run_parallel_lbm(
+            4,
+            cfg,
+            40,
+            policy="filtered",
+            remap_config=RemappingConfig(interval=5, history=5),
+            load_time_fn=slow_rank_load_fn(1),
+        )
+        assert sum(r.mass for r in results) == pytest.approx(m0, rel=1e-12)
+
+    def test_no_migration_without_imbalance(self):
+        cfg = small_config()
+        results = run_parallel_lbm(
+            4,
+            cfg,
+            30,
+            policy="filtered",
+            remap_config=RemappingConfig(interval=5, history=5),
+            load_time_fn=lambda rank, phase, points: points * 1e-6,
+        )
+        assert all(r.planes_sent == 0 for r in results)
+
+    def test_global_policy_balances_to_speed(self):
+        cfg = small_config()
+        results = run_parallel_lbm(
+            4,
+            cfg,
+            40,
+            policy="global",
+            remap_config=RemappingConfig(interval=5, history=5),
+            load_time_fn=slow_rank_load_fn(1, avail=0.5),
+        )
+        by_rank = sorted(results, key=lambda r: r.rank)
+        # Slow rank ends with roughly half of the fast ranks' planes.
+        fast = np.mean([by_rank[i].plane_count for i in (0, 2, 3)])
+        assert by_rank[1].plane_count <= 0.75 * fast
+
+
+class TestDriverValidation:
+    def test_counts_must_sum(self):
+        cfg = small_config()
+
+        def fn(comm):
+            with pytest.raises(ValueError, match="sum"):
+                ParallelLBM(comm, cfg, [5] * comm.size)
+            return True
+
+        assert all(run_spmd(2, fn))
+
+    def test_counts_length_checked(self):
+        cfg = small_config()
+
+        def fn(comm):
+            with pytest.raises(ValueError, match="entries"):
+                ParallelLBM(comm, cfg, [20])
+            return True
+
+        assert all(run_spmd(2, fn))
+
+    def test_more_ranks_than_planes(self):
+        cfg = small_config(nx=3)
+        with pytest.raises(ValueError, match="more ranks"):
+            run_parallel_lbm(5, cfg, 2)
+
+    def test_history_reported(self):
+        cfg = small_config()
+        results = run_parallel_lbm(
+            2,
+            cfg,
+            20,
+            policy="filtered",
+            remap_config=RemappingConfig(interval=10, history=5),
+            load_time_fn=lambda r, p, n: n * 1e-6,
+        )
+        for r in results:
+            assert len(r.comp_times) == 20
+            assert r.plane_history[0] == 10

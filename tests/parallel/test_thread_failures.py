@@ -1,0 +1,61 @@
+"""Failure behaviour of the in-process transport: errors and hangs must
+surface, never silently deadlock the suite."""
+
+import pytest
+
+from repro.parallel.threads import LocalCluster, run_spmd
+
+
+class TestFailurePropagation:
+    def test_partner_death_surfaces_as_timeout(self):
+        """If a rank dies before sending, its partner's recv times out
+        with a descriptive error instead of hanging forever."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("dead before sending")
+            return comm.recv(0, "never", timeout=0.2)
+
+        with pytest.raises(RuntimeError) as exc:
+            run_spmd(2, fn)
+        # Either rank's failure is acceptable as the first reported one.
+        assert "rank" in str(exc.value)
+
+    def test_timeout_message_names_source_and_tag(self):
+        def fn(comm):
+            if comm.rank == 1:
+                try:
+                    comm.recv(0, "ghost", timeout=0.05)
+                except TimeoutError as e:
+                    return str(e)
+            return ""
+
+        results = run_spmd(2, fn)
+        assert "source=0" in results[1]
+        assert "ghost" in results[1]
+
+    def test_join_timeout_reports_deadlock(self):
+        """Ranks blocking on each other beyond the join timeout raise
+        TimeoutError in the caller (daemon threads are abandoned)."""
+
+        def fn(comm):
+            # Both ranks wait for a message that never comes, with a recv
+            # timeout longer than the join timeout.
+            try:
+                comm.recv(1 - comm.rank, "never", timeout=30.0)
+            except TimeoutError:
+                pass
+            return True
+
+        with pytest.raises(TimeoutError, match="deadlock"):
+            LocalCluster(2).run(fn, timeout=0.3)
+
+    def test_first_error_reported_with_cause(self):
+        def fn(comm):
+            if comm.rank == 2:
+                raise ValueError("specific failure")
+            return True
+
+        with pytest.raises(RuntimeError, match="rank 2") as exc:
+            run_spmd(3, fn)
+        assert isinstance(exc.value.__cause__, ValueError)

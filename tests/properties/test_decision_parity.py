@@ -1,0 +1,157 @@
+"""Parity between the centralized policy (used by the virtual-time
+simulator) and the distributed per-rank protocol (used by the parallel
+driver): given identical load indices, both must produce the same plane
+flows — up to the feasibility clamp, which the distributed protocol
+applies per giver while the centralized version iterates globally.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import SlicePartition
+from repro.core.policies import (
+    ConservativePolicy,
+    FilteredPolicy,
+    RemappingConfig,
+    window_proposal,
+)
+
+PLANE_POINTS = 100
+
+
+def distributed_flows(
+    counts_planes: list[int],
+    times: np.ndarray,
+    config: RemappingConfig,
+    *,
+    filtered: bool,
+) -> np.ndarray:
+    """Replicate the parallel driver's remap protocol (driver steps 1-4)
+    without threads: per-rank window proposals, per-edge netting, local
+    outflow clamping."""
+    n = len(counts_planes)
+    counts = np.array(counts_planes, dtype=np.float64) * PLANE_POINTS
+    speeds = counts / times
+    threshold = config.threshold_points_for(PLANE_POINTS)
+
+    give_left = np.zeros(n)
+    give_right = np.zeros(n)
+    for i in range(n):
+        lo, hi = max(0, i - 1), min(n - 1, i + 1)
+        w_counts = counts[lo : hi + 1]
+        w_speeds = speeds[lo : hi + 1]
+        if i > 0:
+            give_left[i] = window_proposal(
+                w_counts, w_speeds, i - lo, i - 1 - lo, config, threshold,
+                filtered=filtered,
+            )
+        if i < n - 1:
+            give_right[i] = window_proposal(
+                w_counts, w_speeds, i - lo, i + 1 - lo, config, threshold,
+                filtered=filtered,
+            )
+
+    # Per-edge netting, then plane truncation (both endpoints compute the
+    # same numbers in the driver).
+    out_left = np.zeros(n, dtype=np.int64)
+    out_right = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        if i > 0:
+            net = give_left[i] - give_right[i - 1]
+            if net > 0:
+                out_left[i] = int(net // PLANE_POINTS)
+        if i < n - 1:
+            net = give_right[i] - give_left[i + 1]
+            if net > 0:
+                out_right[i] = int(net // PLANE_POINTS)
+
+    # Local clamp: keep at least one plane, reduce own outflows.  Unlike
+    # the centralized clamp, a rank does not count on inbound migrations
+    # it cannot guarantee (the sender might clamp them away), so the
+    # distributed protocol is the more conservative of the two.
+    clamped = False
+    for i in range(n):
+        max_out = counts_planes[i] - 1
+        total = out_left[i] + out_right[i]
+        if total > max_out:
+            clamped = True
+            need = total - max_out
+            cut_right = min(out_right[i], -(-need * out_right[i] // max(total, 1)))
+            cut_left = min(out_left[i], need - cut_right)
+            out_right[i] -= cut_right
+            out_left[i] -= cut_left
+
+    flows = np.zeros(n - 1, dtype=np.int64)
+    for i in range(n):
+        if i < n - 1 and out_right[i] > 0:
+            flows[i] += out_right[i]
+        if i > 0 and out_left[i] > 0:
+            flows[i - 1] -= out_left[i]
+    return flows, clamped
+
+
+scenario = st.tuples(
+    st.lists(st.integers(2, 30), min_size=3, max_size=8),
+    st.integers(0, 2**16),
+)
+
+
+def make_times(counts_planes, seed):
+    rng = np.random.default_rng(seed)
+    avail = rng.uniform(0.25, 1.0, len(counts_planes))
+    counts = np.array(counts_planes, dtype=np.float64) * PLANE_POINTS
+    return counts * 1e-5 / avail
+
+
+def assert_parity(central: np.ndarray, distributed: np.ndarray, clamped: bool):
+    if not clamped:
+        assert np.array_equal(central, distributed)
+        return
+    # Under a binding clamp the distributed flows may only be smaller in
+    # magnitude, never opposite in direction.
+    assert (np.abs(distributed) <= np.abs(central)).all()
+    assert (np.sign(distributed) * np.sign(central) >= 0).all()
+
+
+@given(scenario=scenario)
+@settings(max_examples=80, deadline=None)
+def test_filtered_parity(scenario):
+    counts_planes, seed = scenario
+    times = make_times(counts_planes, seed)
+    config = RemappingConfig()
+    central = FilteredPolicy(config).decide(
+        SlicePartition(counts_planes, PLANE_POINTS), times
+    )
+    distributed, clamped = distributed_flows(
+        counts_planes, times, config, filtered=True
+    )
+    assert_parity(central, distributed, clamped)
+
+
+@given(scenario=scenario)
+@settings(max_examples=80, deadline=None)
+def test_conservative_parity(scenario):
+    counts_planes, seed = scenario
+    times = make_times(counts_planes, seed)
+    config = RemappingConfig()
+    central = ConservativePolicy(config).decide(
+        SlicePartition(counts_planes, PLANE_POINTS), times
+    )
+    distributed, clamped = distributed_flows(
+        counts_planes, times, config, filtered=False
+    )
+    assert_parity(central, distributed, clamped)
+
+
+@given(scenario=scenario)
+@settings(max_examples=60, deadline=None)
+def test_distributed_flows_feasible(scenario):
+    counts_planes, seed = scenario
+    times = make_times(counts_planes, seed)
+    flows, _ = distributed_flows(
+        counts_planes, times, RemappingConfig(), filtered=True
+    )
+    part = SlicePartition(counts_planes, PLANE_POINTS)
+    part.apply_edge_flows(flows)  # must not raise
+    assert (part.plane_counts() >= 1).all()

@@ -1,0 +1,104 @@
+"""Property-based tests on partitions, conflict netting and clamping:
+plane conservation and feasibility must survive arbitrary decisions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conflict import (
+    clamp_plane_flows,
+    flows_to_planes,
+    net_edge_proposals,
+)
+from repro.core.exchange import chain_flows_for_targets, proportional_targets
+from repro.core.partition import SlicePartition
+
+partitions = st.lists(st.integers(1, 40), min_size=2, max_size=12).map(
+    lambda counts: SlicePartition(counts, plane_points=100)
+)
+
+
+@given(part=partitions, seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_clamped_flows_always_feasible(part, seed):
+    rng = np.random.default_rng(seed)
+    flows = rng.integers(-50, 50, part.n_nodes - 1)
+    clamped = clamp_plane_flows(flows, part)
+    part.apply_edge_flows(clamped)  # must not raise
+    assert (part.plane_counts() >= part.min_planes).all()
+
+
+@given(part=partitions, seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_clamping_conserves_planes(part, seed):
+    rng = np.random.default_rng(seed)
+    flows = rng.integers(-50, 50, part.n_nodes - 1)
+    total = part.total_planes
+    part.apply_edge_flows(clamp_plane_flows(flows, part))
+    assert part.total_planes == total
+
+
+@given(part=partitions, seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_clamping_never_amplifies(part, seed):
+    rng = np.random.default_rng(seed)
+    flows = rng.integers(-50, 50, part.n_nodes - 1)
+    clamped = clamp_plane_flows(flows, part)
+    assert (np.abs(clamped) <= np.abs(flows)).all()
+    assert (np.sign(clamped) * np.sign(flows) >= 0).all()
+
+
+@given(
+    give_right=st.lists(st.floats(0, 1000), min_size=2, max_size=10),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=50, deadline=None)
+def test_netting_antisymmetry(give_right, seed):
+    n = len(give_right)
+    rng = np.random.default_rng(seed)
+    gr = np.array(give_right)
+    gr[-1] = 0.0
+    gl = rng.uniform(0, 1000, n)
+    gl[0] = 0.0
+    net = net_edge_proposals(gr, gl)
+    # Swapping roles negates the flows (after mirroring the arrays).
+    net_mirror = net_edge_proposals(gl[::-1], gr[::-1])
+    assert np.allclose(net, -net_mirror[::-1])
+
+
+@given(
+    speeds=st.lists(st.floats(0.1, 2.0), min_size=2, max_size=10),
+    total=st.integers(100, 10_000),
+)
+@settings(max_examples=50, deadline=None)
+def test_proportional_targets_conserve(speeds, total):
+    targets = proportional_targets(float(total), speeds)
+    assert np.isclose(targets.sum(), total)
+    assert (targets > 0).all()
+
+
+@given(
+    counts=st.lists(st.integers(1, 50), min_size=2, max_size=10),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=50, deadline=None)
+def test_chain_flows_reach_any_conserving_target(counts, seed):
+    rng = np.random.default_rng(seed)
+    counts_arr = np.array(counts, dtype=float)
+    # Random conserving target.
+    target = rng.dirichlet(np.ones(len(counts))) * counts_arr.sum()
+    flows = chain_flows_for_targets(counts_arr, target)
+    new = counts_arr.copy()
+    new[:-1] -= flows
+    new[1:] += flows
+    assert np.allclose(new, target)
+
+
+@given(
+    point_flows=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=8),
+    plane_points=st.integers(1, 5000),
+)
+@settings(max_examples=50, deadline=None)
+def test_flows_to_planes_bounded(point_flows, plane_points):
+    flows = flows_to_planes(np.array(point_flows), plane_points)
+    assert (np.abs(flows) <= np.abs(np.array(point_flows)) / plane_points + 1).all()

@@ -1,0 +1,108 @@
+"""Property-based tests of the remapping policies: for *any* load
+pattern, decisions must be feasible, conserving, and respectful of the
+lazy rules."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import SlicePartition
+from repro.core.policies import (
+    ConservativePolicy,
+    FilteredPolicy,
+    GlobalPolicy,
+    RemappingConfig,
+)
+
+scenarios = st.tuples(
+    st.lists(st.integers(1, 40), min_size=3, max_size=10),  # plane counts
+    st.integers(0, 2**16),  # seed for availabilities
+)
+
+
+def make_times(counts, seed):
+    rng = np.random.default_rng(seed)
+    avail = rng.uniform(0.2, 1.0, len(counts))
+    counts_arr = np.array(counts, dtype=float) * 100
+    return counts_arr * 1e-5 / avail
+
+
+@given(scenario=scenarios)
+@settings(max_examples=60, deadline=None)
+def test_filtered_decisions_feasible_and_conserving(scenario):
+    counts, seed = scenario
+    part = SlicePartition(counts, 100)
+    total = part.total_planes
+    flows = FilteredPolicy().decide(part, make_times(counts, seed))
+    part.apply_edge_flows(flows)
+    assert part.total_planes == total
+    assert (part.plane_counts() >= 1).all()
+
+
+@given(scenario=scenarios)
+@settings(max_examples=60, deadline=None)
+def test_conservative_decisions_feasible(scenario):
+    counts, seed = scenario
+    part = SlicePartition(counts, 100)
+    flows = ConservativePolicy().decide(part, make_times(counts, seed))
+    part.apply_edge_flows(flows)
+    assert (part.plane_counts() >= 1).all()
+
+
+@given(scenario=scenarios)
+@settings(max_examples=60, deadline=None)
+def test_global_decisions_feasible_and_conserving(scenario):
+    counts, seed = scenario
+    part = SlicePartition(counts, 100)
+    total = part.total_planes
+    flows = GlobalPolicy().decide(part, make_times(counts, seed))
+    part.apply_edge_flows(flows)
+    assert part.total_planes == total
+    assert (part.plane_counts() >= 1).all()
+
+
+@given(scenario=scenarios)
+@settings(max_examples=60, deadline=None)
+def test_uniform_speeds_and_counts_stay_put(scenario):
+    counts, _ = scenario
+    even = [20] * len(counts)
+    part = SlicePartition(even, 100)
+    times = np.array(even, dtype=float) * 100 * 1e-5
+    for policy in (FilteredPolicy(), ConservativePolicy(), GlobalPolicy()):
+        assert not policy.decide(part, times).any()
+
+
+@given(scenario=scenarios)
+@settings(max_examples=60, deadline=None)
+def test_decisions_deterministic(scenario):
+    counts, seed = scenario
+    times = make_times(counts, seed)
+    a = FilteredPolicy().decide(SlicePartition(counts, 100), times)
+    b = FilteredPolicy().decide(SlicePartition(counts, 100), times)
+    assert np.array_equal(a, b)
+
+
+@given(
+    n_nodes=st.integers(3, 10),
+    slow_node=st.integers(0, 9),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_repeated_filtered_remapping_converges(n_nodes, slow_node, seed):
+    """Iterating decide/apply with a fixed slow node reaches a fixed point
+    (no infinite migration churn) and the slow node ends light."""
+    slow_node = slow_node % n_nodes
+    part = SlicePartition.even(n_nodes * 20, n_nodes, 100)
+    policy = FilteredPolicy(RemappingConfig())
+    moved_last = -1
+    for iteration in range(60):
+        counts = part.point_counts().astype(float)
+        times = counts * 1e-5
+        times[slow_node] /= 0.35
+        flows = policy.decide(part, times)
+        if not flows.any():
+            break
+        part.apply_edge_flows(flows)
+    else:
+        raise AssertionError("no fixed point within 60 remap rounds")
+    assert part.planes(slow_node) <= 6

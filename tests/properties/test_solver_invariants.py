@@ -1,0 +1,88 @@
+"""Property-based tests at the full-solver level: conservation and
+determinism must hold across random configurations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lbm.components import ComponentSpec
+from repro.lbm.forces import WallForceSpec
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import D2Q9
+from repro.lbm.solver import LBMConfig, MulticomponentLBM
+
+configs = st.fixed_dictionaries(
+    {
+        "nx": st.integers(6, 14),
+        "ny": st.integers(8, 16),
+        "tau_w": st.floats(0.7, 1.5),
+        "tau_a": st.floats(0.7, 1.5),
+        "rho_air": st.floats(0.01, 0.2),
+        "g": st.floats(0.0, 0.8),
+        "amp": st.floats(0.0, 0.05),
+        "accel": st.floats(0.0, 5e-6),
+    }
+)
+
+
+def build_solver(p) -> MulticomponentLBM:
+    geo = ChannelGeometry(shape=(p["nx"], p["ny"]), wall_axes=(1,))
+    comps = (
+        ComponentSpec("water", tau=p["tau_w"], rho_init=1.0),
+        ComponentSpec("air", tau=p["tau_a"], rho_init=p["rho_air"]),
+    )
+    cfg = LBMConfig(
+        geometry=geo,
+        components=comps,
+        g_matrix=np.array([[0.0, p["g"]], [p["g"], 0.0]]),
+        lattice=D2Q9,
+        wall_force=WallForceSpec(amplitude=p["amp"]) if p["amp"] else None,
+        body_acceleration=(p["accel"], 0.0),
+    )
+    return MulticomponentLBM(cfg)
+
+
+@given(p=configs)
+@settings(max_examples=25, deadline=None)
+def test_mass_conserved_per_component(p):
+    solver = build_solver(p)
+    before = [solver.total_mass(0), solver.total_mass(1)]
+    solver.run(15)
+    assert solver.total_mass(0) == pytest.approx(before[0], rel=1e-11)
+    assert solver.total_mass(1) == pytest.approx(before[1], rel=1e-11)
+
+
+@given(p=configs)
+@settings(max_examples=15, deadline=None)
+def test_runs_are_deterministic(p):
+    a = build_solver(p)
+    b = build_solver(p)
+    a.run(10)
+    b.run(10)
+    assert np.array_equal(a.f, b.f)
+
+
+@given(p=configs)
+@settings(max_examples=15, deadline=None)
+def test_fields_stay_finite(p):
+    solver = build_solver(p)
+    solver.run(15)
+    assert np.isfinite(solver.f).all()
+    assert np.isfinite(solver.rho).all()
+
+
+@given(p=configs)
+@settings(max_examples=15, deadline=None)
+def test_density_positive_on_fluid(p):
+    solver = build_solver(p)
+    solver.run(15)
+    assert (solver.rho[0][solver.fluid] > 0).all()
+
+
+@given(p=configs, steps=st.integers(1, 12))
+@settings(max_examples=15, deadline=None)
+def test_step_count_tracks_runs(p, steps):
+    solver = build_solver(p)
+    solver.run(steps)
+    assert solver.step_count == steps

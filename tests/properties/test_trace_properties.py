@@ -1,0 +1,65 @@
+"""Property-based tests of availability traces and work integration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.trace import AvailabilityTrace, TraceCursor
+
+segment_lists = st.lists(
+    st.tuples(st.floats(0.1, 10.0), st.floats(0.05, 1.0)),
+    min_size=0,
+    max_size=8,
+).map(
+    lambda deltas: list(
+        zip(np.cumsum([d for d, _ in deltas]).tolist(), [a for _, a in deltas])
+    )
+)
+
+
+@given(segments=segment_lists, t0=st.floats(0, 20), work=st.floats(0, 50))
+@settings(max_examples=80, deadline=None)
+def test_advance_monotone_in_work(segments, t0, work):
+    tr = AvailabilityTrace(segments, tail=1.0)
+    t1 = tr.advance(t0, work)
+    t2 = tr.advance(t0, work + 1.0)
+    assert t1 >= t0
+    assert t2 > t1
+
+
+@given(segments=segment_lists, t0=st.floats(0, 20), w1=st.floats(0, 20), w2=st.floats(0, 20))
+@settings(max_examples=80, deadline=None)
+def test_advance_is_additive(segments, t0, w1, w2):
+    """Doing w1 then w2 lands at the same time as doing w1 + w2 at once."""
+    tr = AvailabilityTrace(segments, tail=1.0)
+    two_step = tr.advance(tr.advance(t0, w1), w2)
+    one_step = tr.advance(t0, w1 + w2)
+    assert two_step == pytest.approx(one_step, rel=1e-9, abs=1e-9)
+
+
+@given(segments=segment_lists, t0=st.floats(0, 20), work=st.floats(0.01, 50))
+@settings(max_examples=80, deadline=None)
+def test_elapsed_at_least_work(segments, t0, work):
+    """Availability <= 1 means elapsed time >= work."""
+    tr = AvailabilityTrace(segments, tail=1.0)
+    t1 = tr.advance(t0, work)
+    assert t1 - t0 >= work * (1 - 1e-12)
+
+
+@given(segments=segment_lists, t0=st.floats(0, 30), work=st.floats(0, 30))
+@settings(max_examples=60, deadline=None)
+def test_cursor_agrees_with_trace(segments, t0, work):
+    tr = AvailabilityTrace(segments, tail=1.0)
+    assert TraceCursor(tr).advance(t0, work) == pytest.approx(
+        tr.advance(t0, work), rel=1e-12, abs=1e-12
+    )
+
+
+@given(segments=segment_lists, times=st.lists(st.floats(0, 40), min_size=1, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_cursor_availability_matches_any_order(segments, times):
+    tr = AvailabilityTrace(segments, tail=1.0)
+    cur = TraceCursor(tr)
+    for t in times:
+        assert cur.availability(t) == tr.availability(t)

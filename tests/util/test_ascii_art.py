@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.util.ascii_art import render_field
+
+
+class TestRenderField:
+    def test_shape_of_output(self):
+        field = np.zeros((10, 5))
+        out = render_field(field)
+        lines = out.splitlines()
+        assert len(lines) == 5
+        assert all(len(l) == 10 for l in lines)
+
+    def test_extremes_use_ramp_ends(self):
+        field = np.zeros((4, 2))
+        field[0, 0] = 1.0
+        out = render_field(field, ramp=" #")
+        assert "#" in out
+        assert " " in out
+
+    def test_orientation_y_up(self):
+        field = np.zeros((2, 3))
+        field[:, 2] = 1.0  # top row should be rendered first
+        out = render_field(field, ramp=".#")
+        assert out.splitlines()[0] == "##"
+        assert out.splitlines()[-1] == ".."
+
+    def test_mask_rendered(self):
+        field = np.zeros((3, 3))
+        mask = np.zeros((3, 3), dtype=bool)
+        mask[1, 1] = True
+        out = render_field(field, mask=mask, mask_char="O")
+        assert out.splitlines()[1][1] == "O"
+
+    def test_downsampling(self):
+        field = np.zeros((300, 200))
+        out = render_field(field, max_width=50, max_height=20)
+        lines = out.splitlines()
+        assert len(lines) <= 20
+        assert max(len(l) for l in lines) <= 50
+
+    def test_uniform_field_ok(self):
+        out = render_field(np.full((4, 4), 3.0))
+        assert len(out.splitlines()) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_field(np.zeros(5))
+        with pytest.raises(ValueError):
+            render_field(np.zeros((3, 3)), mask=np.zeros((2, 3), dtype=bool))
+        with pytest.raises(ValueError):
+            render_field(np.zeros((3, 3)), ramp="")
+        with pytest.raises(ValueError):
+            render_field(
+                np.zeros((2, 2)), mask=np.ones((2, 2), dtype=bool)
+            )
+
+    def test_explicit_range(self):
+        field = np.full((2, 2), 0.5)
+        out = render_field(field, vmin=0.0, vmax=1.0, ramp="abc")
+        assert set(out.replace("\n", "")) == {"b"}

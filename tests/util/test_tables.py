@@ -1,0 +1,52 @@
+import pytest
+
+from repro.util.tables import format_cell, format_table
+
+
+class TestFormatCell:
+    def test_float_formatting(self):
+        assert format_cell(1.23456) == "1.235"
+
+    def test_custom_format(self):
+        assert format_cell(1.23456, "{:.1f}") == "1.2"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_bool_not_float_formatted(self):
+        assert format_cell(True) == "True"
+
+    def test_string(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [(1, 2), (10, 20)])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        # All lines same width structure
+        assert lines[0].endswith("bb")
+        assert lines[2].endswith(" 2")
+
+    def test_title_prepended(self):
+        out = format_table(["a"], [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_column_mismatch_raises(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [(1,)])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_float_fmt_applied(self):
+        out = format_table(["x"], [(3.14159,)], float_fmt="{:.2f}")
+        assert "3.14" in out
+        assert "3.142" not in out
+
+    def test_wide_cells_expand_column(self):
+        out = format_table(["x"], [("longvalue",)])
+        header = out.splitlines()[0]
+        assert len(header) >= len("longvalue")

@@ -1,0 +1,46 @@
+import time
+
+import pytest
+
+from repro.util.timers import Timer, format_duration
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.02)
+        assert 0.015 < t.elapsed < 0.5
+
+    def test_laps_accumulate(self):
+        t = Timer()
+        for _ in range(3):
+            with t:
+                time.sleep(0.005)
+        assert t.laps == 3
+        assert t.total >= 3 * 0.004
+        assert t.mean == pytest.approx(t.total / 3)
+
+    def test_mean_before_laps(self):
+        assert Timer().mean == 0.0
+
+    def test_exit_without_enter(self):
+        with pytest.raises(RuntimeError):
+            Timer().__exit__(None, None, None)
+
+
+class TestFormatDuration:
+    def test_milliseconds(self):
+        assert format_duration(0.4312) == "431.2ms"
+
+    def test_seconds(self):
+        assert format_duration(12.34) == "12.3s"
+
+    def test_minutes(self):
+        assert format_duration(248.0) == "4m08s"
+
+    def test_hours(self):
+        assert format_duration(2 * 3600 + 31 * 60) == "2h31m"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)
