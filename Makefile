@@ -1,4 +1,4 @@
-.PHONY: install test bench experiments experiments-fast clean
+.PHONY: install test bench bench-kernels experiments experiments-fast clean
 
 install:
 	pip install -e '.[test]'
@@ -8,6 +8,10 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Side-by-side kernel-backend timings; writes BENCH_kernels.json.
+bench-kernels:
+	pytest benchmarks/test_bench_kernels.py --benchmark-only
 
 experiments:
 	python -m repro.experiments.runner all

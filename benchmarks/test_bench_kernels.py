@@ -1,24 +1,65 @@
 """Micro-benchmarks of the LBM hot-loop kernels (collision, streaming,
 S-C force, full phase) — the per-point costs that the cluster model's
-``cost_per_point`` abstracts."""
+``cost_per_point`` abstracts.
+
+Every benchmark runs once per kernel backend (``reference`` and
+``fused``) so the backends are measured side by side; the per-point
+timings land in ``BENCH_kernels.json`` at the repository root, with the
+full-phase speedup of ``fused`` over ``reference`` computed when both
+are present.  Under ``--benchmark-disable`` the kernels still execute
+once (a smoke test) but no timings are recorded.
+"""
+
+import json
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.lbm.components import ComponentSpec
-from repro.lbm.equilibrium import equilibrium
 from repro.lbm.forces import WallForceSpec
 from repro.lbm.geometry import ChannelGeometry
-from repro.lbm.lattice import D3Q19
-from repro.lbm.shan_chen import interaction_force
 from repro.lbm.solver import LBMConfig, MulticomponentLBM
-from repro.lbm.streaming import stream
 
 SHAPE_3D = (32, 48, 12)
+POINTS = int(np.prod(SHAPE_3D))
+BACKENDS = ("reference", "fused")
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
 
 
 @pytest.fixture(scope="module")
-def solver_3d():
+def bench_record():
+    """Collect ``{benchmark: {backend: us_per_point}}`` across the module
+    and write BENCH_kernels.json when the module finishes."""
+    results: dict[str, dict[str, float]] = {}
+    yield results
+    if not results:
+        return
+    for timings in results.values():
+        if all(b in timings for b in BACKENDS):
+            timings["speedup_vs_reference"] = round(
+                timings["reference"] / timings["fused"], 2
+            )
+    payload = {
+        "shape": list(SHAPE_3D),
+        "n_components": 2,
+        "lattice": "D3Q19",
+        "unit": "us_per_point",
+        "benchmarks": results,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _record(bench_record, benchmark, name: str, backend: str) -> None:
+    if benchmark.stats is None:  # --benchmark-disable smoke run
+        return
+    us_per_point = benchmark.stats["mean"] / POINTS * 1e6
+    benchmark.extra_info["us_per_point"] = round(us_per_point, 4)
+    bench_record.setdefault(name, {})[backend] = round(us_per_point, 4)
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def backend_solver(request):
     geo = ChannelGeometry(shape=SHAPE_3D)
     comps = (
         ComponentSpec("water", tau=1.0, rho_init=1.0),
@@ -30,40 +71,69 @@ def solver_3d():
         g_matrix=np.array([[0.0, 0.9], [0.9, 0.0]]),
         wall_force=WallForceSpec(amplitude=0.1),
         body_acceleration=(2e-7, 0.0, 0.0),
+        backend=request.param,
     )
     solver = MulticomponentLBM(cfg)
-    solver.run(5)  # warm state
-    return solver
+    solver.run(5)  # warm state (interface formed, scratch/caches primed)
+    return request.param, solver
 
 
-def test_bench_equilibrium_kernel(benchmark):
+def test_bench_equilibrium_kernel(benchmark, backend_solver, bench_record):
+    name, solver = backend_solver
     rng = np.random.default_rng(0)
     rho = rng.uniform(0.5, 1.5, SHAPE_3D)
     u = rng.uniform(-0.05, 0.05, (3, *SHAPE_3D))
     out = np.empty((19, *SHAPE_3D))
-    benchmark(lambda: equilibrium(rho, u, D3Q19, out=out))
-    points = int(np.prod(SHAPE_3D))
-    benchmark.extra_info["ns_per_point"] = round(
-        benchmark.stats["mean"] / points * 1e9, 1
-    )
+    kernel = solver.backend
+    benchmark(lambda: kernel.equilibrium(rho, u, out=out))
+    _record(bench_record, benchmark, "equilibrium", name)
 
 
-def test_bench_streaming_kernel(benchmark):
+def test_bench_streaming_kernel(benchmark, backend_solver, bench_record):
+    name, solver = backend_solver
     rng = np.random.default_rng(1)
-    f = rng.random((19, *SHAPE_3D))
-    benchmark(lambda: stream(f, D3Q19))
+    kernel = solver.backend
+    state = {"f": rng.random((2, 19, *SHAPE_3D))}
+
+    def step():
+        # The fused backend returns its double buffer: rebind like the
+        # solver does (f = backend.stream(f)).
+        state["f"] = kernel.stream(state["f"])
+
+    benchmark(step)
+    _record(bench_record, benchmark, "streaming", name)
 
 
-def test_bench_shan_chen_force(benchmark):
+def test_bench_shan_chen_force(benchmark, backend_solver, bench_record):
+    name, solver = backend_solver
     rng = np.random.default_rng(2)
     psis = rng.uniform(0.0, 1.0, (2, *SHAPE_3D))
-    g = np.array([[0.0, 0.9], [0.9, 0.0]])
-    benchmark(lambda: interaction_force(psis, g, D3Q19))
+    out = np.empty((2, 3, *SHAPE_3D))
+    kernel = solver.backend
+    benchmark(lambda: kernel.shan_chen_force(psis, out=out))
+    _record(bench_record, benchmark, "shan_chen_force", name)
 
 
-def test_bench_full_phase(benchmark, solver_3d):
-    benchmark(solver_3d.step)
-    points = int(np.prod(SHAPE_3D))
-    us_per_point = benchmark.stats["mean"] / points * 1e6
-    benchmark.extra_info["us_per_point"] = round(us_per_point, 3)
+def test_bench_bounce_back(benchmark, backend_solver, bench_record):
+    name, solver = backend_solver
+    kernel = solver.backend
+    f = solver.f.copy()
+    benchmark(lambda: kernel.bounce_back(f))
+    _record(bench_record, benchmark, "bounce_back", name)
+
+
+def test_bench_moments(benchmark, backend_solver, bench_record):
+    name, solver = backend_solver
+    kernel = solver.backend
+    f = solver.f
+    rho = np.empty_like(solver.rho)
+    mom = np.empty_like(solver.mom)
+    benchmark(lambda: kernel.moments(f, rho, mom))
+    _record(bench_record, benchmark, "moments", name)
+
+
+def test_bench_full_phase(benchmark, backend_solver, bench_record):
+    name, solver = backend_solver
+    benchmark(solver.step)
+    _record(bench_record, benchmark, "full_phase", name)
     benchmark.extra_info["paper_us_per_point_on_2003_xeon"] = 4.9

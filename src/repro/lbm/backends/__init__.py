@@ -1,0 +1,37 @@
+"""Pluggable kernel backends for the LBM hot path.
+
+See :mod:`repro.lbm.backends.registry` for the backend contract,
+:mod:`repro.lbm.backends.reference` for the baseline NumPy kernels and
+:mod:`repro.lbm.backends.fused` for the allocation-free fast path.
+
+Select a backend with ``LBMConfig(backend="fused")`` or the
+``REPRO_LBM_BACKEND`` environment variable.
+"""
+
+from repro.lbm.backends.registry import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    KernelBackend,
+    available_backends,
+    create_backend,
+    get_backend_class,
+    register_backend,
+    resolve_backend_name,
+)
+
+# Importing the implementation modules registers the built-in backends.
+from repro.lbm.backends.reference import ReferenceBackend
+from repro.lbm.backends.fused import FusedBackend
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "KernelBackend",
+    "ReferenceBackend",
+    "FusedBackend",
+    "available_backends",
+    "create_backend",
+    "get_backend_class",
+    "register_backend",
+    "resolve_backend_name",
+]

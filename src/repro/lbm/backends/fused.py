@@ -1,0 +1,444 @@
+"""The ``fused`` backend: an allocation-free LBM hot path.
+
+Four memory-level optimisations over the reference kernels, all verified
+bit-compatible (<= 1e-12) by the differential tests in
+``tests/lbm/test_backends.py``:
+
+1. **Double-buffered streaming.**  Instead of 19 (Q-1) full-grid
+   ``np.roll`` temporaries per component per step, streaming writes
+   wrap-decomposed slice blocks straight into a preallocated second
+   population buffer and swaps buffers (callers rebind:
+   ``f = backend.stream(f)``).
+
+2. **Fused collide+equilibrium.**  The equilibrium is built in place in a
+   scratch ``(Q, *S)`` array (the ``c . u`` products go through one BLAS
+   ``matmul`` into scratch), immediately turned into the BGK increment
+   and added to ``f`` — one pass, zero temporaries.  The per-component
+   ``omega * mask`` product is cached keyed on the mask's identity.
+
+3. **Batched moments.**  ``rho`` and ``mom`` for *all* components come
+   from a single ``np.sum`` and a single broadcast ``matmul`` sweep over
+   the ``(C, Q, N)``-flattened populations.
+
+4. **Pair-folded Shan-Chen differences.**  The lattice is antisymmetric
+   (``c_opp(k) = -c_k``), so the psi gradient needs only one central
+   difference per *direction pair* over the stacked ``(C, *S)`` psi
+   field — 9 subtractions for D3Q19 instead of 36 per-component rolls —
+   accumulated with pure ``+=``/``-=`` (velocity components are all
+   0/±1).  The shifted fields are materialised into contiguous scratch
+   by slice assignment first, because NumPy's ufunc machinery allocates
+   a transfer buffer for every non-contiguous operand.
+
+Bounce-back gathers/scatters precomputed flat solid indices through a
+fixed scratch block, so the steady-state ``step()`` performs no
+full-grid allocation at all (see the tracemalloc regression test).
+For the same reason every in-place ufunc in this module runs over
+same-shape contiguous operands (row-wise loops instead of stride-0
+broadcasts): with NumPy >= 2 those broadcasts also buffer.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.lbm.backends.registry import KernelBackend, register_backend
+from repro.lbm.boundary import bounce_back as _masked_bounce_back
+from repro.lbm.shan_chen import psi_identity
+
+_FULL = slice(None)
+
+
+def _axis_roll_segments(n: int, s: int) -> list[tuple[slice, slice]]:
+    """(dst, src) slice pairs so that ``dst_block = src_block`` implements
+    ``np.roll`` by *s* along one axis of extent *n*."""
+    s %= n
+    if s == 0:
+        return [(_FULL, _FULL)]
+    return [
+        (slice(s, None), slice(0, n - s)),
+        (slice(0, s), slice(n - s, None)),
+    ]
+
+
+def _roll_plan(
+    shape: tuple[int, ...], shift: tuple[int, ...]
+) -> list[tuple[tuple[slice, ...], tuple[slice, ...]]]:
+    """Block-copy plan: ``buf[dst] = f[src]`` over all returned pairs
+    equals ``buf = np.roll(f, shift)`` on the spatial axes (periodic wrap),
+    applied to a ``(C, *S)`` slab — the leading slice spans components."""
+    per_axis = [_axis_roll_segments(n, s) for n, s in zip(shape, shift)]
+    return [
+        (
+            (_FULL,) + tuple(p[0] for p in combo),
+            (_FULL,) + tuple(p[1] for p in combo),
+        )
+        for combo in product(*per_axis)
+    ]
+
+
+@register_backend
+class FusedBackend(KernelBackend):
+    """Preallocated-scratch, fused-kernel implementation."""
+
+    name = "fused"
+
+    def __init__(self, config, shape, solid_mask):
+        super().__init__(config, shape, solid_mask)
+        lat = self.lattice
+        C, Q, D, S = self.n_components, lat.Q, lat.D, self.shape
+        N = self.n_points
+        if np.abs(lat.c).max() > 1:
+            raise ValueError(
+                f"fused backend requires single-link velocities, "
+                f"lattice {lat.name} has |c| > 1"
+            )
+
+        # --- streaming ----------------------------------------------------
+        self._rest = [int(k) for k in range(Q) if k not in set(lat.moving)]
+        self._stream_plans = [
+            (int(k), _roll_plan(S, lat.shifts[k])) for k in lat.moving
+        ]
+        self._fbuf = np.empty((C, Q) + S, dtype=np.float64)
+
+        # --- bounce-back --------------------------------------------------
+        # Flat gather/scatter indices into one component's (Q*N,) raveled
+        # populations, restricted to the moving directions (the rest
+        # population is its own mirror): scratch[k, i] = f[k, s_i], then
+        # f[opp(k), s_i] = scratch[k, i].  Precomputed intp indices with
+        # ``mode="clip"`` on the gather keep NumPy from allocating its
+        # bounds-checking buffer.
+        self._solid_flat = np.flatnonzero(self.solid_mask.ravel())
+        self._n_solid = int(self._solid_flat.size)
+        moving = lat.moving.astype(np.intp)
+        rows = moving[:, None] * N
+        opp_rows = lat.opp[moving].astype(np.intp)[:, None] * N
+        self._gather_idx = np.ascontiguousarray(
+            (rows + self._solid_flat).ravel(), dtype=np.intp
+        )
+        self._scatter_idx = np.ascontiguousarray(
+            (opp_rows + self._solid_flat).ravel(), dtype=np.intp
+        )
+        self._bounce_scratch = np.empty(
+            moving.size * self._n_solid, dtype=np.float64
+        )
+
+        # --- equilibrium / collision --------------------------------------
+        self._inv_cs2 = 1.0 / lat.cs2
+        self._half_inv4 = 0.5 * self._inv_cs2 * self._inv_cs2
+        self._half_inv2 = 0.5 * self._inv_cs2
+        # The quadratic term is evaluated as s(s + gamma) with
+        # s = sqrt(1/(2 cs4)) c . u  (the 1/(2 cs4) factor pre-folded into
+        # the matmul matrix) and gamma = (1/cs2)/sqrt(1/(2 cs4)) — one
+        # fewer full (Q, *S) pass than the plain Horner form.
+        sqrt_h4 = float(np.sqrt(self._half_inv4))
+        self._gamma = self._inv_cs2 / sqrt_h4
+        self._c_scaled = np.ascontiguousarray(lat.cf * sqrt_h4)  # (Q, D)
+        # Per-direction scalar weights: a python loop of scalar multiplies
+        # is measurably faster than one broadcast by a (Q, 1, ..) column.
+        self._w_list = [float(wk) for wk in lat.w]
+        self._feq = np.empty((Q,) + S, dtype=np.float64)
+        self._cu = np.empty((Q,) + S, dtype=np.float64)
+        self._cu_flat = self._cu.reshape(Q, N)
+        self._usq = np.empty(S, dtype=np.float64)
+        self._sq = np.empty(S, dtype=np.float64)
+        self._nbuf = np.empty(S, dtype=np.float64)
+        self._omega = np.empty((C,) + S, dtype=np.float64)
+        self._one_minus_omega = np.empty((C,) + S, dtype=np.float64)
+        self._omega_key: object = None
+
+        # --- Shan-Chen ----------------------------------------------------
+        # One representative per +/- direction pair (k < opp(k)); each
+        # entry carries the weight, the nonzero velocity components as
+        # (axis, sign) with sign in {-1, +1}, and the roll plans that
+        # materialise psi(x + c_k) / psi(x - c_k) into contiguous scratch
+        # (plain slice assignments never hit NumPy's ufunc buffering, so
+        # the subtraction then runs fully contiguous and allocation-free).
+        # Single-axis pairs subtract straight into svec[d] (then scale in
+        # place); multi-axis (diagonal) pairs accumulate via diff scratch.
+        self._axis_pairs = []  # (signed_weight, d, plan_plus, plan_minus)
+        self._diag_pairs = []  # (weight, [(d, sign), ...], plan_p, plan_m)
+        axis_dims = set()
+        for k in lat.moving:
+            k = int(k)
+            ko = int(lat.opp[k])
+            if k >= ko:
+                continue
+            dims = [
+                (d, 1 if lat.c[k, d] > 0 else -1)
+                for d in range(D)
+                if lat.c[k, d] != 0
+            ]
+            # buf = roll(psi, shifts[opp(k)]) reads psi(x + c_k) at x.
+            plan_p = _roll_plan(S, lat.shifts[ko])
+            plan_m = _roll_plan(S, lat.shifts[k])
+            if len(dims) == 1:
+                d, sign = dims[0]
+                if d in axis_dims:  # two axis pairs on one dim: accumulate
+                    self._diag_pairs.append(
+                        (float(lat.w[k]), dims, plan_p, plan_m)
+                    )
+                else:
+                    axis_dims.add(d)
+                    self._axis_pairs.append(
+                        (sign * float(lat.w[k]), d, plan_p, plan_m)
+                    )
+            else:
+                self._diag_pairs.append(
+                    (float(lat.w[k]), dims, plan_p, plan_m)
+                )
+        self._zero_dims = [d for d in range(D) if d not in axis_dims]
+        self._psis = np.empty((C,) + S, dtype=np.float64)
+        self._roll_p = np.empty((C,) + S, dtype=np.float64)
+        self._roll_m = np.empty((C,) + S, dtype=np.float64)
+        self._diff = np.empty((C,) + S, dtype=np.float64)
+        # Direction-major layout: svec[d] / coupled[d] are contiguous
+        # (C, *S) slabs, so every in-place op on them stays buffer-free.
+        self._svec = np.empty((D, C) + S, dtype=np.float64)
+        self._svec_mat = self._svec.reshape(D, C, N)
+        self._coupled = np.empty((D, C) + S, dtype=np.float64)
+        self._coupled_mat = self._coupled.reshape(D, C, N)
+        # F = -psi (g . S): fold the minus sign into the coupling matrix
+        # (IEEE negation is exact, so this is bitwise identical) and save
+        # a full negation pass.
+        self._neg_g = np.ascontiguousarray(-self.g_matrix, dtype=np.float64)
+
+        # --- moments / forces / velocities --------------------------------
+        self._cfT = np.ascontiguousarray(lat.cf.T)  # (D, Q)
+        self._inv_tau_row = (1.0 / self.taus).reshape(1, C)
+        self._tmp_cd = np.empty((C, D) + S, dtype=np.float64)
+        self._tmp_d = np.empty((D,) + S, dtype=np.float64)
+        self._denom = np.empty(S, dtype=np.float64)
+        self._denom_flat = self._denom.reshape(1, N)
+        self._ucommon = np.empty((D,) + S, dtype=np.float64)
+        self._ucommon_flat = self._ucommon.reshape(1, D * N)
+        self._srho = np.empty(S, dtype=np.float64)
+
+    # ------------------------------------------------------------ streaming
+    def stream(self, f: np.ndarray) -> np.ndarray:
+        buf = self._fbuf
+        if buf.shape != f.shape or buf is f:
+            buf = np.empty_like(f)
+        for k in self._rest:
+            buf[:, k] = f[:, k]
+        for k, plan in self._stream_plans:
+            fk = f[:, k]
+            bk = buf[:, k]
+            for dst, src in plan:
+                bk[dst] = fk[src]
+        self._fbuf = f  # the old buffer becomes next step's target
+        return buf
+
+    def bounce_back(self, f: np.ndarray) -> None:
+        if self._n_solid == 0:
+            return
+        lat = self.lattice
+        try:
+            fv = f.view()
+            fv.shape = (f.shape[0], lat.Q, self.n_points)
+        except AttributeError:
+            # Non-contiguous populations: generic masked fallback.
+            for ci in range(f.shape[0]):
+                _masked_bounce_back(f[ci], self.solid_mask, lat)
+            return
+        scratch = self._bounce_scratch
+        for ci in range(f.shape[0]):
+            f1 = fv[ci].reshape(-1)
+            np.take(f1, self._gather_idx, out=scratch, mode="clip")
+            # f_new[opp(k), s] = f_old[k, s]  <=>  f_k <- f_opp(k) at solids.
+            f1[self._scatter_idx] = scratch
+
+    # ---------------------------------------------------------- equilibrium
+    def _feq_poly_into(self, u: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Velocity polynomial of the equilibrium, row-unscaled:
+        ``out_k <- s_k (s_k + gamma)`` with ``s = sqrt(1/(2 cs4)) c . u``,
+        which equals ``cu/cs2 + cu^2/(2 cs4)``.  Returns ``base =
+        1 - u^2/(2 cs2)`` in a spatial-size scratch buffer; callers add it
+        per row and apply the ``w n`` scaling (see the row-wise note in
+        the module docstring)."""
+        cu = self._cu
+        np.matmul(
+            self._c_scaled, u.reshape(self.lattice.D, -1), out=self._cu_flat
+        )
+        np.multiply(u[0], u[0], out=self._usq)
+        for d in range(1, self.lattice.D):
+            np.multiply(u[d], u[d], out=self._sq)
+            self._usq += self._sq
+        base = self._usq
+        base *= -self._half_inv2
+        base += 1.0
+        np.add(cu, self._gamma, out=out)
+        out *= cu
+        return base
+
+    def equilibrium(
+        self, rho_n: np.ndarray, u: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        if rho_n.shape != self.shape:
+            raise ValueError(
+                f"rho shape {rho_n.shape} != backend grid {self.shape}"
+            )
+        if u.shape != (self.lattice.D,) + self.shape:
+            raise ValueError(
+                f"u shape {u.shape} != {(self.lattice.D,) + self.shape}"
+            )
+        if out is None:
+            out = np.empty((self.lattice.Q,) + self.shape, dtype=np.float64)
+        base = self._feq_poly_into(u, out)
+        n = self._nbuf
+        n[:] = rho_n
+        for k, wk in enumerate(self._w_list):
+            row = out[k]
+            row += base
+            row *= n
+            row *= wk
+        return out
+
+    # ------------------------------------------------------------ collision
+    def collide_bgk(
+        self,
+        f: np.ndarray,
+        rho: np.ndarray,
+        u_eq: np.ndarray,
+        mask: np.ndarray,
+    ) -> None:
+        if mask is not self._omega_key:
+            # Masks are long-lived solver arrays; rebuild the cached
+            # omega*mask products only when the identity changes.
+            for ci in range(self.n_components):
+                np.multiply(mask, 1.0 / self.taus[ci], out=self._omega[ci])
+                np.subtract(
+                    1.0, self._omega[ci], out=self._one_minus_omega[ci]
+                )
+            self._omega_key = mask
+        # BGK in the relaxed form f <- (1 - omega) f + omega feq: folding
+        # omega n into the equilibrium's row scaling saves the full-grid
+        # ``feq -= f`` pass of the incremental form.  Masked (solid) nodes
+        # have omega = 0, so f passes through unchanged there.
+        feq = self._feq
+        for ci in range(self.n_components):
+            base = self._feq_poly_into(u_eq[ci], feq)
+            nom = self._nbuf
+            np.divide(rho[ci], self.masses[ci], out=nom)
+            nom *= self._omega[ci]
+            om1 = self._one_minus_omega[ci]
+            fci = f[ci]
+            for k, wk in enumerate(self._w_list):
+                row = feq[k]
+                row += base
+                row *= nom
+                row *= wk
+                frow = fci[k]
+                frow *= om1
+                frow += row
+
+    # ------------------------------------------------------------ Shan-Chen
+    def shan_chen_force(
+        self, psis: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        if out is None:
+            out = np.empty(
+                (self.n_components, self.lattice.D) + self.shape,
+                dtype=np.float64,
+            )
+        svec = self._svec
+        diff = self._diff
+        rp, rm = self._roll_p, self._roll_m
+        for swk, d, plan_p, plan_m in self._axis_pairs:
+            for dst, src in plan_p:
+                rp[dst] = psis[src]
+            for dst, src in plan_m:
+                rm[dst] = psis[src]
+            target = svec[d]
+            np.subtract(rp, rm, out=target)
+            target *= swk
+        for d in self._zero_dims:
+            svec[d] = 0.0
+        for wk, dims, plan_p, plan_m in self._diag_pairs:
+            for dst, src in plan_p:
+                rp[dst] = psis[src]
+            for dst, src in plan_m:
+                rm[dst] = psis[src]
+            np.subtract(rp, rm, out=diff)
+            diff *= wk
+            for d, sign in dims:
+                if sign > 0:
+                    svec[d] += diff
+                else:
+                    svec[d] -= diff
+        # coupled[d] = -g . S[d]  (one batched matmul over the D stack)
+        np.matmul(self._neg_g, self._svec_mat, out=self._coupled_mat)
+        coupled = self._coupled
+        for d in range(self.lattice.D):
+            cd = coupled[d]
+            cd *= psis
+            out[:, d] = cd
+        return out
+
+    # -------------------------------------------------------------- moments
+    def moments(
+        self, f: np.ndarray, rho_out: np.ndarray, mom_out: np.ndarray
+    ) -> None:
+        C, Q = f.shape[:2]
+        fv = f.reshape(C, Q, -1)
+        np.sum(fv, axis=1, out=rho_out.reshape(C, -1))
+        np.matmul(self._cfT, fv, out=mom_out.reshape(C, self.lattice.D, -1))
+        for ci in range(C):  # scalar scale per component: buffer-free
+            rho_out[ci] *= self.masses[ci]
+            mom_out[ci] *= self.masses[ci]
+
+    def forces_and_velocities(
+        self,
+        rho: np.ndarray,
+        mom: np.ndarray,
+        force: np.ndarray,
+        u_eq: np.ndarray,
+        *,
+        accel: np.ndarray,
+        psi_mask: np.ndarray,
+        vel_mask: np.ndarray,
+        adhesion: tuple[float, ...] | None = None,
+        wall_field: np.ndarray | None = None,
+    ) -> np.ndarray:
+        C, D = self.n_components, self.lattice.D
+        psis = self._psis
+        if self.psi is psi_identity:
+            for ci in range(C):  # row-wise: see _feq_into
+                np.multiply(rho[ci], psi_mask, out=psis[ci])
+        else:
+            for ci in range(C):
+                psis[ci] = self.psi(rho[ci])
+                psis[ci] *= psi_mask
+
+        self.shan_chen_force(psis, out=force)
+        tmp = self._tmp_cd
+        for ci in range(C):
+            for d in range(D):
+                np.multiply(accel[ci, d], rho[ci], out=tmp[ci, d])
+        force += tmp
+        if adhesion is not None and wall_field is not None:
+            for ci, g_ads in enumerate(adhesion):
+                if g_ads != 0.0:
+                    for d in range(D):
+                        np.multiply(psis[ci], wall_field[d], out=self._tmp_d[d])
+                    self._tmp_d *= g_ads
+                    force[ci] -= self._tmp_d
+
+        np.matmul(self._inv_tau_row, rho.reshape(C, -1), out=self._denom_flat)
+        np.matmul(self._inv_tau_row, mom.reshape(C, -1), out=self._ucommon_flat)
+        np.maximum(self._denom, 1e-300, out=self._denom)
+        ucommon = self._ucommon
+        for d in range(D):
+            ucommon[d] /= self._denom
+        for ci in range(C):
+            np.maximum(rho[ci], 1e-300, out=self._srho)
+            np.multiply(force[ci], self.taus[ci], out=u_eq[ci])
+            ue = u_eq[ci]
+            for d in range(D):
+                ued = ue[d]
+                ued /= self._srho
+                ued += ucommon[d]
+                ued *= vel_mask
+            # (row-wise to stay buffer-free; ucommon add is same-shape)
+        return psis

@@ -1,0 +1,234 @@
+"""Kernel-backend abstraction and registry.
+
+A :class:`KernelBackend` owns the *implementation* of the five LBM hot
+kernels — streaming, equilibrium, collision (BGK), Shan-Chen force, and
+the moment/force/velocity update — for one solver instance.  The physics
+(update order, boundary handling, remapping) stays in
+:class:`~repro.lbm.solver.MulticomponentLBM` and
+:class:`~repro.parallel.driver.ParallelLBM`; backends only decide *how*
+each kernel touches memory.
+
+Two backends ship with the package:
+
+``reference``
+    The original NumPy kernels, unchanged — per-component loops,
+    ``np.roll`` streaming, fresh temporaries.  Always correct, easy to
+    read, the baseline every optimisation is differentially tested
+    against.
+
+``fused``
+    Allocation-free hot path: double-buffered slice streaming, fused
+    in-place collide+equilibrium, batched BLAS moments, and pair-folded
+    Shan-Chen central differences over a preallocated scratch pool
+    (see :mod:`repro.lbm.backends.fused`).
+
+Selection: ``LBMConfig(backend="fused")`` explicitly, or the
+``REPRO_LBM_BACKEND`` environment variable as the default for configs
+that do not name a backend.  All validation (g-matrix symmetry, shape
+checks) happens here at construction time, never per step.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import TYPE_CHECKING, Callable, ClassVar
+
+import numpy as np
+
+from repro.lbm.lattice import Lattice
+from repro.lbm.shan_chen import validate_g_matrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (solver imports us)
+    from repro.lbm.solver import LBMConfig
+
+#: Environment variable consulted when a config does not name a backend.
+BACKEND_ENV_VAR = "REPRO_LBM_BACKEND"
+
+#: Fallback when neither the config nor the environment chooses.
+DEFAULT_BACKEND = "reference"
+
+_REGISTRY: dict[str, type["KernelBackend"]] = {}
+
+
+def register_backend(cls: type["KernelBackend"]) -> type["KernelBackend"]:
+    """Class decorator: add *cls* to the registry under ``cls.name``."""
+    name = getattr(cls, "name", None)
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend class {cls.__name__} needs a `name` string")
+    if name in _REGISTRY and _REGISTRY[name] is not cls:
+        raise ValueError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends, sorted."""
+    return sorted(_REGISTRY)
+
+
+def resolve_backend_name(name: str | None = None) -> str:
+    """Resolve an explicit/None backend name to a registered one.
+
+    Resolution order: explicit *name* -> ``$REPRO_LBM_BACKEND`` ->
+    ``"reference"``.  Raises ``ValueError`` for unknown names so typos in
+    either channel fail loudly at configuration time.
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR, "").strip() or DEFAULT_BACKEND
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown LBM backend {name!r}; available: {available_backends()}"
+        )
+    return name
+
+
+def get_backend_class(name: str | None = None) -> type["KernelBackend"]:
+    """Look up a backend class by (resolved) name."""
+    return _REGISTRY[resolve_backend_name(name)]
+
+
+def create_backend(
+    config: "LBMConfig",
+    shape: tuple[int, ...],
+    solid_mask: np.ndarray,
+) -> "KernelBackend":
+    """Instantiate the backend the config selects, for a (local) grid.
+
+    Parameters
+    ----------
+    config:
+        The run configuration; supplies the lattice, component taus and
+        masses, the coupling matrix and the psi function.
+    shape:
+        *Local* spatial grid shape — the full channel for the sequential
+        solver, the slab (with ghost planes) for a parallel rank.  Scratch
+        buffers are sized for it, so parallel ranks rebuild their backend
+        after plane migration.
+    solid_mask:
+        Boolean solid-node field of that shape (bounce-back support).
+    """
+    return get_backend_class(getattr(config, "backend", None))(
+        config, shape, solid_mask
+    )
+
+
+class KernelBackend(abc.ABC):
+    """The five hot kernels of one LBM solver instance.
+
+    Array-shape conventions (C components, Q directions, S spatial grid):
+
+    - populations ``f``: ``(C, Q, *S)``
+    - densities ``rho``: ``(C, *S)``, momenta/forces/velocities:
+      ``(C, D, *S)``
+    - masks are float64 fields of shape broadcastable to ``(*S,)``
+      (1.0 on active nodes, 0.0 elsewhere)
+
+    Construction performs **all** validation; per-step methods assume
+    well-shaped inputs.
+    """
+
+    #: Registry key; subclasses must override.
+    name: ClassVar[str] = ""
+
+    def __init__(
+        self,
+        config: "LBMConfig",
+        shape: tuple[int, ...],
+        solid_mask: np.ndarray,
+    ):
+        lat: Lattice = config.lattice
+        if len(shape) != lat.D:
+            raise ValueError(
+                f"shape {shape} is {len(shape)}-D but lattice {lat.name} "
+                f"is {lat.D}-D"
+            )
+        solid_mask = np.asarray(solid_mask, dtype=bool)
+        if solid_mask.shape != tuple(shape):
+            raise ValueError(
+                f"solid_mask shape {solid_mask.shape} != grid shape {shape}"
+            )
+        self.lattice = lat
+        self.shape = tuple(shape)
+        self.n_points = int(np.prod(shape))
+        self.solid_mask = solid_mask
+        self.n_components = config.n_components
+        self.taus = np.array([c.tau for c in config.components], dtype=np.float64)
+        self.masses = np.array(
+            [c.mass for c in config.components], dtype=np.float64
+        )
+        # Hoisted hot-loop validation: the g matrix is checked exactly once.
+        self.g_matrix = validate_g_matrix(
+            np.asarray(config.g_matrix), self.n_components
+        )
+        self.psi: Callable[[np.ndarray], np.ndarray] = config.psi
+
+    # ------------------------------------------------------------- kernels
+    @abc.abstractmethod
+    def stream(self, f: np.ndarray) -> np.ndarray:
+        """Periodic streaming of all components.
+
+        May operate in place *or* return a different (backend-owned)
+        buffer; callers must rebind: ``self.f = backend.stream(self.f)``.
+        """
+
+    @abc.abstractmethod
+    def bounce_back(self, f: np.ndarray) -> None:
+        """Full-way bounce-back at the construction-time solid nodes,
+        in place, for all components."""
+
+    @abc.abstractmethod
+    def equilibrium(
+        self, rho_n: np.ndarray, u: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Equilibrium populations for one number-density field
+        (``(*S,)``) and velocity field (``(D, *S)``) -> ``(Q, *S)``."""
+
+    @abc.abstractmethod
+    def collide_bgk(
+        self,
+        f: np.ndarray,
+        rho: np.ndarray,
+        u_eq: np.ndarray,
+        mask: np.ndarray,
+    ) -> None:
+        """BGK collision of every component toward its forced equilibrium,
+        in place, restricted to ``mask`` nodes."""
+
+    @abc.abstractmethod
+    def shan_chen_force(
+        self, psis: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Shan-Chen interparticle force from pseudopotentials ``(C, *S)``
+        -> ``(C, D, *S)`` using the construction-time g matrix."""
+
+    @abc.abstractmethod
+    def moments(
+        self, f: np.ndarray, rho_out: np.ndarray, mom_out: np.ndarray
+    ) -> None:
+        """Densities and momenta of all components, written into the given
+        output arrays."""
+
+    @abc.abstractmethod
+    def forces_and_velocities(
+        self,
+        rho: np.ndarray,
+        mom: np.ndarray,
+        force: np.ndarray,
+        u_eq: np.ndarray,
+        *,
+        accel: np.ndarray,
+        psi_mask: np.ndarray,
+        vel_mask: np.ndarray,
+        adhesion: tuple[float, ...] | None = None,
+        wall_field: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """The force + velocity half of the moment update.
+
+        Computes pseudopotentials (masked by *psi_mask*), the S-C force,
+        adds the static acceleration field ``accel * rho``, optionally the
+        S-C wall-adhesion term, then the common velocity and every
+        component's forced equilibrium velocity (masked by *vel_mask*).
+        Writes ``force`` and ``u_eq`` in place and returns the psi fields
+        (shape ``(C, *S)``) for diagnostics / adhesion bookkeeping.
+        """

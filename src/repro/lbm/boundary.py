@@ -31,8 +31,11 @@ def bounce_back(f: np.ndarray, solid_mask: np.ndarray, lattice: Lattice) -> None
         )
     if not solid_mask.any():
         return
-    at_solid = f[:, solid_mask]  # (Q, n_solid) copy
-    f[:, solid_mask] = at_solid[lattice.opp]
+    # Only the moving directions change under reflection (the rest
+    # population is its own opposite), so gather/scatter just those.
+    rows = lattice.moving[:, None]
+    at_solid = f[rows, solid_mask]  # (Q_moving, n_solid) copy
+    f[rows, solid_mask] = at_solid[lattice.moving_opp]
 
 
 def bounce_back_component_stack(

@@ -46,7 +46,7 @@ def equilibrium(
         )
     inv_cs2 = 1.0 / lattice.cs2
     # cu[k] = c_k . u  -> shape (Q, *S)
-    cu = np.tensordot(lattice.c.astype(np.float64), u, axes=([1], [0]))
+    cu = np.tensordot(lattice.cf, u, axes=([1], [0]))
     usq = np.einsum("d...,d...->...", u, u)
 
     if out is None:

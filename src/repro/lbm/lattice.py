@@ -29,6 +29,19 @@ class Lattice:
         Squared lattice speed of sound (1/3 for both supported sets).
     opp:
         Index of the opposite direction for each direction, shape ``(Q,)``.
+    cf:
+        ``c`` as float64 (precomputed so hot kernels never pay a per-call
+        ``astype`` copy), shape ``(Q, D)``.
+    shifts:
+        Per-direction integer shift tuples for ``np.roll``-style
+        propagation, precomputed once (tuple of Q tuples of D ints).
+    moving:
+        Indices of the directions with a nonzero velocity, shape
+        ``(Q - n_rest,)`` — the only directions streaming has to touch.
+    moving_opp:
+        Permutation *within* :attr:`moving`: ``moving[moving_opp[i]]`` is
+        the opposite of ``moving[i]`` (used by bounce-back to skip the
+        rest population entirely).
     """
 
     name: str
@@ -36,6 +49,10 @@ class Lattice:
     w: np.ndarray
     cs2: float = 1.0 / 3.0
     opp: np.ndarray = field(init=False)
+    cf: np.ndarray = field(init=False)
+    shifts: tuple[tuple[int, ...], ...] = field(init=False)
+    moving: np.ndarray = field(init=False)
+    moving_opp: np.ndarray = field(init=False)
 
     def __post_init__(self) -> None:
         c = np.asarray(self.c, dtype=np.int64)
@@ -46,12 +63,22 @@ class Lattice:
             raise ValueError(f"w must have shape ({c.shape[0]},), got {w.shape}")
         if not np.isclose(w.sum(), 1.0):
             raise ValueError(f"weights must sum to 1, got {w.sum()!r}")
+        opp = _opposite_indices(c)
+        cf = c.astype(np.float64)
+        shifts = tuple(tuple(int(s) for s in ck) for ck in c)
+        moving = np.flatnonzero(c.any(axis=1))
+        # Position of each moving direction's opposite inside `moving`.
+        pos = {int(k): i for i, k in enumerate(moving)}
+        moving_opp = np.array([pos[int(opp[k])] for k in moving], dtype=np.int64)
         object.__setattr__(self, "c", c)
         object.__setattr__(self, "w", w)
-        object.__setattr__(self, "opp", _opposite_indices(c))
-        c.setflags(write=False)
-        w.setflags(write=False)
-        self.opp.setflags(write=False)
+        object.__setattr__(self, "opp", opp)
+        object.__setattr__(self, "cf", cf)
+        object.__setattr__(self, "shifts", shifts)
+        object.__setattr__(self, "moving", moving)
+        object.__setattr__(self, "moving_opp", moving_opp)
+        for arr in (c, w, opp, cf, moving, moving_opp):
+            arr.setflags(write=False)
 
     @property
     def Q(self) -> int:

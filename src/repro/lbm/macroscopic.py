@@ -32,9 +32,7 @@ def component_momentum(
 ) -> np.ndarray:
     """Momentum density ``m * sum_k f_k c_k`` of shape ``(D, *S)``."""
     # tensordot over the Q axis: c.T (D, Q) x f (Q, *S) -> (D, *S)
-    return mass * np.tensordot(
-        lattice.c.astype(np.float64).T, f, axes=([1], [0])
-    )
+    return mass * np.tensordot(lattice.cf.T, f, axes=([1], [0]))
 
 
 def common_velocity(

@@ -68,12 +68,11 @@ def shifted_psi_sum(psi: np.ndarray, lattice: Lattice) -> np.ndarray:
     """
     out = np.zeros((lattice.D,) + psi.shape, dtype=np.float64)
     spatial_axes = tuple(range(lattice.D))
-    for k in range(lattice.Q):
+    for k in lattice.moving:
         ck = lattice.c[k]
-        if not ck.any():
-            continue
-        # psi(x + c_k) viewed from x is a roll by -c_k.
-        shifted = np.roll(psi, tuple(int(-s) for s in ck), axis=spatial_axes)
+        # psi(x + c_k) viewed from x is a roll by -c_k, i.e. by the
+        # opposite direction's precomputed shift tuple.
+        shifted = np.roll(psi, lattice.shifts[lattice.opp[k]], axis=spatial_axes)
         wk = lattice.w[k]
         for d in range(lattice.D):
             if ck[d] != 0:
@@ -94,14 +93,18 @@ def interaction_force(
         Pseudopotential fields, shape ``(C, *S)`` (already zeroed at solid
         nodes by the caller).
     g_matrix:
-        Symmetric coupling matrix, shape ``(C, C)``.
+        Symmetric coupling matrix, shape ``(C, C)``.  Callers are expected
+        to have validated it once up front (``LBMConfig.__post_init__`` and
+        kernel-backend construction do) — this per-step hot path does not
+        re-validate; use :func:`validate_g_matrix` explicitly for untrusted
+        input.
 
     Returns
     -------
     Forces of shape ``(C, D, *S)``.
     """
     n_comp = psis.shape[0]
-    g_matrix = validate_g_matrix(g_matrix, n_comp)
+    g_matrix = np.asarray(g_matrix, dtype=np.float64)
     sums = np.stack([shifted_psi_sum(psis[c], lattice) for c in range(n_comp)])
     # F_sigma = -psi_sigma * sum_sigma' g[sigma, sigma'] * S_sigma'
     forces = np.zeros_like(sums)

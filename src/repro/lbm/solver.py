@@ -24,25 +24,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.lbm.boundary import bounce_back
+from repro.lbm.backends import create_backend, resolve_backend_name
 from repro.lbm.components import ComponentSpec
 from repro.lbm.equilibrium import equilibrium
 from repro.lbm.forces import WallForceSpec, body_force_field, wall_force_field
 from repro.lbm.geometry import ChannelGeometry
 from repro.lbm.lattice import Lattice, D3Q19
-from repro.lbm.macroscopic import (
-    common_velocity,
-    component_density,
-    component_momentum,
-    mixture_velocity,
-)
+from repro.lbm.macroscopic import mixture_velocity
+from repro.lbm.obstacles import momentum_exchange
 from repro.lbm.shan_chen import (
     PsiFunction,
-    interaction_force,
     psi_identity,
     validate_g_matrix,
 )
-from repro.lbm.streaming import stream
 
 
 @dataclass(frozen=True)
@@ -79,6 +73,12 @@ class LBMConfig:
         (``g_ads > 0`` repels from the walls, ``< 0`` wets them) — the
         standard S-C wettability mechanism, as an alternative to the
         paper's explicit ``wall_force`` (see :mod:`repro.lbm.adhesion`).
+    backend:
+        Kernel-backend name (``"reference"`` or ``"fused"``; see
+        :mod:`repro.lbm.backends`).  ``None`` (default) consults the
+        ``REPRO_LBM_BACKEND`` environment variable and falls back to
+        ``"reference"``; the resolved name is stored, so parallel ranks
+        built from the same config always agree on the backend.
     """
 
     geometry: ChannelGeometry
@@ -90,6 +90,7 @@ class LBMConfig:
     psi: PsiFunction = field(default=psi_identity)
     collision: str = "bgk"
     adhesion: tuple[float, ...] | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.lattice.D != self.geometry.ndim:
@@ -130,6 +131,7 @@ class LBMConfig:
                     f"({len(self.components)}), got {len(adh)}"
                 )
             object.__setattr__(self, "adhesion", adh)
+        object.__setattr__(self, "backend", resolve_backend_name(self.backend))
 
     @property
     def n_components(self) -> int:
@@ -190,7 +192,10 @@ class MulticomponentLBM:
         self.mom = np.zeros((n_comp, lat.D) + shape, dtype=np.float64)
         self.force = np.zeros_like(self.mom)
         self.u_eq = np.zeros_like(self.mom)
-        self._feq_scratch = np.zeros((lat.Q,) + shape, dtype=np.float64)
+
+        #: Kernel backend (owns the hot-loop scratch; see
+        #: :mod:`repro.lbm.backends`).
+        self.backend = create_backend(config, shape, self.solid)
 
         self._wall_field: np.ndarray | None = None
         if config.adhesion is not None:
@@ -291,7 +296,6 @@ class MulticomponentLBM:
     def collide(self) -> None:
         """Relax every component toward its forced equilibrium (BGK or
         MRT per the configuration), restricted to fluid nodes."""
-        lat = self.config.lattice
         if self._mrt is not None:
             for ci, comp in enumerate(self.config.components):
                 self._mrt[ci].collide(
@@ -301,65 +305,41 @@ class MulticomponentLBM:
                     fluid_mask=self._fluid_f,
                 )
             return
-        for ci, comp in enumerate(self.config.components):
-            feq = equilibrium(
-                self.rho[ci] / comp.mass, self.u_eq[ci], lat, out=self._feq_scratch
-            )
-            omega = 1.0 / comp.tau
-            # f += omega * (feq - f) on fluid nodes only; vectorised with a
-            # float mask to avoid fancy-indexing copies in the hot loop.
-            delta = feq
-            delta -= self.f[ci]
-            delta *= omega * self._fluid_f
-            self.f[ci] += delta
+        self.backend.collide_bgk(self.f, self.rho, self.u_eq, self._fluid_f)
 
     def stream_and_bounce(self) -> None:
         """Streaming plus full-way bounce-back at the solid walls, then any
         registered open-boundary hooks."""
         lat = self.config.lattice
-        wall_momentum = (
-            np.zeros(lat.D) if self.track_wall_momentum else None
-        )
-        for ci in range(self.config.n_components):
-            stream(self.f[ci], lat)
-            if wall_momentum is not None:
-                from repro.lbm.obstacles import momentum_exchange
-
-                wall_momentum += self.config.components[ci].mass * (
-                    momentum_exchange(self.f[ci], self.solid, lat)
+        self.f = f = self.backend.stream(self.f)
+        if self.track_wall_momentum:
+            # Momentum exchange reads the post-stream, pre-bounce state.
+            wall_momentum = np.zeros(lat.D)
+            for ci, comp in enumerate(self.config.components):
+                wall_momentum += comp.mass * momentum_exchange(
+                    f[ci], self.solid, lat
                 )
-            bounce_back(self.f[ci], self.solid, lat)
-        if wall_momentum is not None:
             self.last_wall_momentum = wall_momentum
+        self.backend.bounce_back(f)
         for hook in self.post_stream_hooks:
             hook(self)
 
     def update_moments_and_forces(self) -> None:
         """Recompute densities, momenta, forces and equilibrium velocities
         from the current populations."""
-        lat = self.config.lattice
         cfg = self.config
-        for ci, comp in enumerate(cfg.components):
-            self.rho[ci] = component_density(self.f[ci], comp.mass)
-            self.mom[ci] = component_momentum(self.f[ci], lat, comp.mass)
-
-        psis = np.stack([cfg.psi(self.rho[ci]) for ci in range(cfg.n_components)])
-        psis *= self._fluid_f  # neutral walls: psi = 0 inside the solid
-        sc = interaction_force(psis, cfg.g_matrix, lat)
-
-        self.force[:] = sc
-        self.force += self._accel * self.rho[:, None]
-        if self._wall_field is not None:
-            assert cfg.adhesion is not None
-            for ci, g_ads in enumerate(cfg.adhesion):
-                if g_ads != 0.0:
-                    self.force[ci] -= g_ads * psis[ci][None] * self._wall_field
-
-        u_common = common_velocity(self.rho, self.mom, self.taus)
-        for ci, comp in enumerate(cfg.components):
-            safe_rho = np.maximum(self.rho[ci], 1e-300)
-            self.u_eq[ci] = u_common + comp.tau * self.force[ci] / safe_rho
-            self.u_eq[ci] *= self._fluid_f  # keep solid nodes at rest
+        self.backend.moments(self.f, self.rho, self.mom)
+        self.backend.forces_and_velocities(
+            self.rho,
+            self.mom,
+            self.force,
+            self.u_eq,
+            accel=self._accel,
+            psi_mask=self._fluid_f,  # neutral walls: psi = 0 inside the solid
+            vel_mask=self._fluid_f,  # keep solid nodes at rest
+            adhesion=cfg.adhesion if self._wall_field is not None else None,
+            wall_field=self._wall_field,
+        )
 
     # ------------------------------------------------------------ diagnostics
     def mixture_density(self) -> np.ndarray:

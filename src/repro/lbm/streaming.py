@@ -24,12 +24,8 @@ def stream(f: np.ndarray, lattice: Lattice) -> None:
             f"f must have {1 + lattice.D} dims (Q + spatial), got shape {f.shape}"
         )
     spatial_axes = tuple(range(lattice.D))
-    for k in range(lattice.Q):
-        ck = lattice.c[k]
-        if not ck.any():
-            continue
-        shift = tuple(int(s) for s in ck)
-        f[k] = np.roll(f[k], shift, axis=spatial_axes)
+    for k in lattice.moving:
+        f[k] = np.roll(f[k], lattice.shifts[k], axis=spatial_axes)
 
 
 def stream_component_stack(f: np.ndarray, lattice: Lattice) -> None:

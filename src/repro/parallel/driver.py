@@ -31,19 +31,11 @@ from repro.core.policies import (
     RemappingConfig,
     window_proposal,
 )
+from repro.lbm.backends import create_backend
 from repro.lbm.equilibrium import equilibrium
 from repro.lbm.forces import body_force_field, wall_force_field
 from repro.lbm.geometry import ChannelGeometry
-from repro.lbm.macroscopic import (
-    common_velocity,
-    component_density,
-    component_momentum,
-    mixture_velocity,
-)
-from repro.lbm.shan_chen import interaction_force
 from repro.lbm.solver import LBMConfig
-from repro.lbm.streaming import stream
-from repro.lbm.boundary import bounce_back
 from repro.parallel.api import Communicator
 from repro.parallel.decomposition import SlabDecomposition
 from repro.parallel.halo import HaloExchanger
@@ -149,7 +141,8 @@ class ParallelLBM:
         return self.f.shape[2] - 2
 
     def _alloc_state(self) -> None:
-        """(Re)allocate the derived fields for the current slab size."""
+        """(Re)allocate the derived fields (and the kernel backend's
+        scratch pool) for the current slab size."""
         lat = self.config.lattice
         n_comp = self.config.n_components
         shape = self.f.shape[2:]
@@ -157,7 +150,6 @@ class ParallelLBM:
         self.mom = np.zeros((n_comp, lat.D, *shape))
         self.force = np.zeros_like(self.mom)
         self.u_eq = np.zeros_like(self.mom)
-        self._feq = np.zeros((lat.Q, *shape))
         # Interior-only collide mask (ghosts excluded); psi keeps the
         # cross-section fluid pattern on ghosts (their densities are real
         # neighbour data needed by the S-C force).
@@ -168,47 +160,34 @@ class ParallelLBM:
         collide_mask[-1] = False
         self._collide_mask = collide_mask.astype(np.float64)
         self._solid3 = np.broadcast_to(self._solid_pattern, shape).copy()
+        # Ranks inherit the backend from the shared config; scratch is
+        # sized for the local slab, so rebuild after every migration.
+        self.backend = create_backend(self.config, shape, self._solid3)
 
     # -------------------------------------------------------------- physics
     def _collide(self) -> None:
-        lat = self.config.lattice
-        for ci, comp in enumerate(self.config.components):
-            feq = equilibrium(
-                self.rho[ci] / comp.mass, self.u_eq[ci], lat, out=self._feq
-            )
-            feq -= self.f[ci]
-            feq *= (1.0 / comp.tau) * self._collide_mask
-            self.f[ci] += feq
+        self.backend.collide_bgk(
+            self.f, self.rho, self.u_eq, self._collide_mask
+        )
 
     def _stream_and_bounce(self) -> None:
-        lat = self.config.lattice
-        for ci in range(self.config.n_components):
-            stream(self.f[ci], lat)
-            bounce_back(self.f[ci], self._solid3, lat)
+        self.f = self.backend.stream(self.f)
+        self.backend.bounce_back(self.f)
 
     def _moments_and_forces(self, tag: object) -> None:
         """Moment update + density halo + force/velocity computation (the
         second half of a phase; also rerun after migration)."""
-        lat = self.config.lattice
-        cfg = self.config
-        for ci, comp in enumerate(cfg.components):
-            self.rho[ci] = component_density(self.f[ci], comp.mass)
-            self.mom[ci] = component_momentum(self.f[ci], lat, comp.mass)
+        self.backend.moments(self.f, self.rho, self.mom)
         self.halo.exchange_scalar(self.rho, tag, "halo_rho")
-
-        psis = np.stack(
-            [cfg.psi(self.rho[ci]) for ci in range(cfg.n_components)]
+        self.backend.forces_and_velocities(
+            self.rho,
+            self.mom,
+            self.force,
+            self.u_eq,
+            accel=self._accel,
+            psi_mask=self._psi_mask,
+            vel_mask=self._collide_mask,
         )
-        psis *= self._psi_mask
-        sc = interaction_force(psis, cfg.g_matrix, lat)
-        self.force[:] = sc
-        self.force += self._accel * self.rho[:, None]
-
-        u_common = common_velocity(self.rho, self.mom, self.taus)
-        for ci, comp in enumerate(cfg.components):
-            safe_rho = np.maximum(self.rho[ci], 1e-300)
-            self.u_eq[ci] = u_common + comp.tau * self.force[ci] / safe_rho
-            self.u_eq[ci] *= self._collide_mask
 
     def step_phase(self) -> float:
         """One full phase; returns the load-index sample for this phase."""

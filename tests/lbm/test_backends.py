@@ -1,0 +1,397 @@
+"""Kernel-backend tests: registry behaviour, fused-vs-reference
+differential matrix, per-kernel parity properties and the fused
+backend's allocation-free guarantee."""
+
+from __future__ import annotations
+
+import dataclasses
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lbm.backends import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    FusedBackend,
+    ReferenceBackend,
+    available_backends,
+    create_backend,
+    get_backend_class,
+    resolve_backend_name,
+)
+from repro.lbm.components import ComponentSpec
+from repro.lbm.forces import WallForceSpec
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import D2Q9, D3Q19
+from repro.lbm.obstacles import MaskedGeometry, cylinder_mask
+from repro.lbm.solver import LBMConfig, MulticomponentLBM
+
+ATOL = 1e-12
+
+
+def two_component_config(lattice, *, scenario="walls", backend=None):
+    """A small two-component channel for the given lattice, with the
+    requested boundary/collision scenario."""
+    if lattice.D == 2:
+        shape = (14, 12)
+        geometry = ChannelGeometry(shape=shape, wall_axes=(1,))
+        accel = (2e-6, 0.0)
+    else:
+        shape = (10, 9, 8)
+        geometry = ChannelGeometry(shape=shape)
+        accel = (2e-6, 0.0, 0.0)
+
+    wall_force = None
+    adhesion = None
+    collision = "bgk"
+    if scenario == "walls":
+        wall_force = WallForceSpec(amplitude=0.03, decay_length=2.0)
+    elif scenario == "obstacles":
+        center = tuple((s - 1) / 2.0 for s in shape[:2])
+        mask = cylinder_mask(shape, center, 2.0)
+        geometry = MaskedGeometry(shape, mask, wall_axes=geometry.wall_axes)
+    elif scenario == "adhesion":
+        adhesion = (-0.08, 0.08)
+    elif scenario == "mrt":
+        collision = "mrt"
+    else:  # pragma: no cover - guard against typos in parametrize lists
+        raise ValueError(scenario)
+
+    return LBMConfig(
+        geometry=geometry,
+        components=(
+            ComponentSpec("water", tau=1.0, rho_init=1.0),
+            ComponentSpec("air", tau=0.8, rho_init=0.03),
+        ),
+        g_matrix=np.array([[0.0, 0.9], [0.9, 0.0]]),
+        lattice=lattice,
+        wall_force=wall_force,
+        body_acceleration=accel,
+        collision=collision,
+        adhesion=adhesion,
+        backend=backend,
+    )
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert "reference" in names
+        assert "fused" in names
+
+    def test_default_resolution(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend_name(None) == DEFAULT_BACKEND == "reference"
+
+    def test_env_var_resolution(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fused")
+        assert resolve_backend_name(None) == "fused"
+        # An explicit name always wins over the environment.
+        assert resolve_backend_name("reference") == "reference"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown.*backend"):
+            resolve_backend_name("turbo")
+
+    def test_unknown_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "turbo")
+        with pytest.raises(ValueError, match="turbo"):
+            resolve_backend_name(None)
+
+    def test_config_stores_resolved_name(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fused")
+        cfg = two_component_config(D2Q9)
+        assert cfg.backend == "fused"
+        # The resolved name is frozen into the config: clearing the
+        # environment afterwards must not change which backend is built.
+        monkeypatch.delenv(BACKEND_ENV_VAR)
+        solver = MulticomponentLBM(cfg)
+        assert isinstance(solver.backend, FusedBackend)
+
+    def test_get_backend_class(self):
+        assert get_backend_class("reference") is ReferenceBackend
+        assert get_backend_class("fused") is FusedBackend
+
+    def test_create_backend_builds_named_class(self):
+        cfg = two_component_config(D2Q9, backend="fused")
+        backend = create_backend(
+            cfg, cfg.geometry.shape, cfg.geometry.solid_mask()
+        )
+        assert isinstance(backend, FusedBackend)
+
+
+def _pair(lattice, scenario):
+    """Reference and fused solvers for the same configuration."""
+    cfg = two_component_config(lattice, scenario=scenario, backend="reference")
+    ref = MulticomponentLBM(cfg)
+    fused = MulticomponentLBM(dataclasses.replace(cfg, backend="fused"))
+    return ref, fused
+
+
+DIFF_MATRIX = [
+    (D2Q9, "walls"),
+    (D2Q9, "obstacles"),
+    (D2Q9, "adhesion"),
+    (D2Q9, "mrt"),  # MRT collision stays outside the backend (fallback)
+    (D3Q19, "walls"),
+    (D3Q19, "obstacles"),
+    (D3Q19, "adhesion"),
+]
+
+
+class TestDifferentialMatrix:
+    """Fused must agree with reference to <= 1e-12 after many steps, for
+    every lattice x boundary-condition combination."""
+
+    @pytest.mark.parametrize(
+        "lattice,scenario",
+        DIFF_MATRIX,
+        ids=[f"{lat.name}-{s}" for lat, s in DIFF_MATRIX],
+    )
+    def test_full_step_parity(self, lattice, scenario):
+        ref, fused = _pair(lattice, scenario)
+        ref.run(25)
+        fused.run(25)
+        np.testing.assert_allclose(fused.f, ref.f, rtol=0.0, atol=ATOL)
+        np.testing.assert_allclose(fused.rho, ref.rho, rtol=0.0, atol=ATOL)
+        np.testing.assert_allclose(fused.u_eq, ref.u_eq, rtol=0.0, atol=ATOL)
+        np.testing.assert_allclose(
+            fused.force, ref.force, rtol=0.0, atol=ATOL
+        )
+
+    def test_wall_momentum_parity(self):
+        ref, fused = _pair(D2Q9, "obstacles")
+        ref.track_wall_momentum = fused.track_wall_momentum = True
+        ref.run(10)
+        fused.run(10)
+        np.testing.assert_allclose(
+            fused.last_wall_momentum,
+            ref.last_wall_momentum,
+            rtol=0.0,
+            atol=ATOL,
+        )
+
+
+def _backend_pair(lattice, scenario="walls"):
+    cfg = two_component_config(lattice, scenario=scenario)
+    shape = cfg.geometry.shape
+    solid = cfg.geometry.solid_mask()
+    return (
+        ReferenceBackend(cfg, shape, solid),
+        FusedBackend(cfg, shape, solid),
+        cfg,
+    )
+
+
+def _random_f(rng, cfg):
+    shape = (cfg.n_components, cfg.lattice.Q) + cfg.geometry.shape
+    return rng.uniform(0.01, 1.0, size=shape)
+
+
+class TestKernelParity:
+    """Per-kernel agreement on random states (tighter than the full-step
+    test: isolates which kernel broke)."""
+
+    @pytest.mark.parametrize("lattice", [D2Q9, D3Q19], ids=lambda l: l.name)
+    def test_stream(self, lattice):
+        ref, fused, cfg = _backend_pair(lattice)
+        rng = np.random.default_rng(3)
+        f = _random_f(rng, cfg)
+        out_ref = ref.stream(f.copy())
+        out_fused = fused.stream(f.copy())
+        assert np.array_equal(out_ref, out_fused)
+
+    @pytest.mark.parametrize("lattice", [D2Q9, D3Q19], ids=lambda l: l.name)
+    def test_stream_twice_round_trips_buffers(self, lattice):
+        """The fused double buffer must keep working across repeated calls
+        (the second call streams out of the swapped buffer)."""
+        ref, fused, cfg = _backend_pair(lattice)
+        rng = np.random.default_rng(4)
+        f = _random_f(rng, cfg)
+        out_ref = ref.stream(ref.stream(f.copy()))
+        out_fused = fused.stream(fused.stream(f.copy()))
+        assert np.array_equal(out_ref, out_fused)
+
+    @pytest.mark.parametrize("lattice", [D2Q9, D3Q19], ids=lambda l: l.name)
+    def test_bounce_back(self, lattice):
+        ref, fused, cfg = _backend_pair(lattice, scenario="obstacles")
+        rng = np.random.default_rng(5)
+        f_ref = _random_f(rng, cfg)
+        f_fused = f_ref.copy()
+        ref.bounce_back(f_ref)
+        fused.bounce_back(f_fused)
+        assert np.array_equal(f_ref, f_fused)
+
+    @pytest.mark.parametrize("lattice", [D2Q9, D3Q19], ids=lambda l: l.name)
+    def test_equilibrium(self, lattice):
+        ref, fused, cfg = _backend_pair(lattice)
+        rng = np.random.default_rng(6)
+        shape = cfg.geometry.shape
+        rho_n = rng.uniform(0.1, 2.0, size=shape)
+        u = rng.uniform(-0.05, 0.05, size=(lattice.D,) + shape)
+        np.testing.assert_allclose(
+            fused.equilibrium(rho_n, u),
+            ref.equilibrium(rho_n, u),
+            rtol=0.0,
+            atol=ATOL,
+        )
+
+    @pytest.mark.parametrize("lattice", [D2Q9, D3Q19], ids=lambda l: l.name)
+    def test_shan_chen_force(self, lattice):
+        ref, fused, cfg = _backend_pair(lattice)
+        rng = np.random.default_rng(7)
+        shape = cfg.geometry.shape
+        psis = rng.uniform(0.0, 1.0, size=(cfg.n_components,) + shape)
+        np.testing.assert_allclose(
+            fused.shan_chen_force(psis.copy()),
+            ref.shan_chen_force(psis.copy()),
+            rtol=0.0,
+            atol=ATOL,
+        )
+
+    @pytest.mark.parametrize("lattice", [D2Q9, D3Q19], ids=lambda l: l.name)
+    def test_moments(self, lattice):
+        ref, fused, cfg = _backend_pair(lattice)
+        rng = np.random.default_rng(8)
+        f = _random_f(rng, cfg)
+        shape = cfg.geometry.shape
+        C, D = cfg.n_components, lattice.D
+        rho_ref = np.empty((C,) + shape)
+        mom_ref = np.empty((C, D) + shape)
+        rho_fused = np.empty_like(rho_ref)
+        mom_fused = np.empty_like(mom_ref)
+        ref.moments(f, rho_ref, mom_ref)
+        fused.moments(f, rho_fused, mom_fused)
+        np.testing.assert_allclose(rho_fused, rho_ref, rtol=0.0, atol=ATOL)
+        np.testing.assert_allclose(mom_fused, mom_ref, rtol=0.0, atol=ATOL)
+
+
+small_states = st.fixed_dictionaries(
+    {
+        "nx": st.integers(5, 10),
+        "ny": st.integers(6, 11),
+        "seed": st.integers(0, 2**31 - 1),
+        "g": st.floats(0.0, 1.2),
+        "umax": st.floats(0.0, 0.1),
+    }
+)
+
+
+def _property_pair(p):
+    geo = ChannelGeometry(shape=(p["nx"], p["ny"]), wall_axes=(1,))
+    cfg = LBMConfig(
+        geometry=geo,
+        components=(
+            ComponentSpec("water", tau=1.0, rho_init=1.0),
+            ComponentSpec("air", tau=0.9, rho_init=0.05),
+        ),
+        g_matrix=np.array([[0.0, p["g"]], [p["g"], 0.0]]),
+        lattice=D2Q9,
+        body_acceleration=(1e-6, 0.0),
+        backend="reference",
+    )
+    solid = geo.solid_mask()
+    return (
+        ReferenceBackend(cfg, geo.shape, solid),
+        FusedBackend(cfg, geo.shape, solid),
+        cfg,
+    )
+
+
+class TestBackendProperties:
+    """Hypothesis: parity holds for arbitrary small states, not just the
+    hand-picked fixtures above."""
+
+    @given(p=small_states)
+    @settings(max_examples=20, deadline=None)
+    def test_stream_parity(self, p):
+        ref, fused, cfg = _property_pair(p)
+        rng = np.random.default_rng(p["seed"])
+        f = _random_f(rng, cfg)
+        assert np.array_equal(ref.stream(f.copy()), fused.stream(f.copy()))
+
+    @given(p=small_states)
+    @settings(max_examples=20, deadline=None)
+    def test_equilibrium_parity(self, p):
+        ref, fused, cfg = _property_pair(p)
+        rng = np.random.default_rng(p["seed"])
+        shape = cfg.geometry.shape
+        rho_n = rng.uniform(0.01, 2.0, size=shape)
+        u = rng.uniform(-p["umax"], p["umax"], size=(2,) + shape)
+        np.testing.assert_allclose(
+            fused.equilibrium(rho_n, u),
+            ref.equilibrium(rho_n, u),
+            rtol=0.0,
+            atol=ATOL,
+        )
+
+    @given(p=small_states)
+    @settings(max_examples=20, deadline=None)
+    def test_interaction_force_parity(self, p):
+        ref, fused, cfg = _property_pair(p)
+        rng = np.random.default_rng(p["seed"])
+        psis = rng.uniform(0.0, 1.0, size=(2,) + cfg.geometry.shape)
+        np.testing.assert_allclose(
+            fused.shan_chen_force(psis.copy()),
+            ref.shan_chen_force(psis.copy()),
+            rtol=0.0,
+            atol=ATOL,
+        )
+
+    @given(p=small_states)
+    @settings(max_examples=10, deadline=None)
+    def test_full_step_parity(self, p):
+        geo = ChannelGeometry(shape=(p["nx"], p["ny"]), wall_axes=(1,))
+        cfg = LBMConfig(
+            geometry=geo,
+            components=(
+                ComponentSpec("water", tau=1.0, rho_init=1.0),
+                ComponentSpec("air", tau=0.9, rho_init=0.05),
+            ),
+            g_matrix=np.array([[0.0, p["g"]], [p["g"], 0.0]]),
+            lattice=D2Q9,
+            body_acceleration=(1e-6, 0.0),
+            backend="reference",
+        )
+        ref = MulticomponentLBM(cfg)
+        fused = MulticomponentLBM(dataclasses.replace(cfg, backend="fused"))
+        ref.run(5)
+        fused.run(5)
+        np.testing.assert_allclose(fused.f, ref.f, rtol=0.0, atol=ATOL)
+
+
+class TestFusedAllocationFree:
+    def test_step_allocates_nothing_substantial(self):
+        """At steady state a fused step must not allocate any field-sized
+        array: everything lives in scratch buffers sized at construction.
+        A (Q, *S) field here is ~107 KiB; allow a few KiB of slack for
+        interpreter bookkeeping (views, scalars, frames)."""
+        cfg = two_component_config(D3Q19, scenario="walls", backend="fused")
+        solver = MulticomponentLBM(cfg)
+        solver.run(3)  # warm caches (omega tables, ufunc buffers)
+
+        tracemalloc.start()
+        try:
+            baseline, _ = tracemalloc.get_traced_memory()
+            solver.run(5)
+            current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+
+        field_bytes = cfg.lattice.Q * np.prod(cfg.geometry.shape) * 8
+        assert peak - baseline < min(64 * 1024, field_bytes / 4)
+        # And nothing is retained across steps.
+        assert current - baseline < 16 * 1024
+
+    def test_scratch_reused_across_steps(self):
+        """The double buffer must alternate between exactly two arrays."""
+        cfg = two_component_config(D2Q9, backend="fused")
+        solver = MulticomponentLBM(cfg)
+        seen = set()
+        for _ in range(6):
+            solver.step()
+            seen.add(id(solver.f))
+        assert len(seen) == 2

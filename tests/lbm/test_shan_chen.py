@@ -111,7 +111,13 @@ class TestInteractionForce:
         assert forces[0, 0, 3, 4] < 0
         assert forces[0, 0, 5, 4] > 0
 
-    def test_asymmetric_g_rejected(self):
+    def test_no_per_call_validation(self):
+        """Validation is hoisted out of the per-step hot path: callers
+        (``LBMConfig`` / backend construction) run ``validate_g_matrix``
+        once; ``interaction_force`` itself uses the matrix as given."""
         psis = np.ones((2, 4, 4))
-        with pytest.raises(ValueError):
-            interaction_force(psis, np.array([[0.0, 1.0], [0.5, 0.0]]), D2Q9)
+        asym = np.array([[0.0, 1.0], [0.5, 0.0]])
+        forces = interaction_force(psis, asym, D2Q9)  # does not raise
+        assert forces.shape == (2, 2, 4, 4)
+        with pytest.raises(ValueError, match="symmetric"):
+            validate_g_matrix(asym, 2)
