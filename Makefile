@@ -1,4 +1,5 @@
-.PHONY: install test bench bench-kernels experiments experiments-fast clean
+.PHONY: install test bench bench-kernels experiments experiments-fast \
+    trace-demo clean
 
 install:
 	pip install -e '.[test]'
@@ -18,6 +19,11 @@ experiments:
 
 experiments-fast:
 	python -m repro.experiments.runner all --fast
+
+# Traced parallel run + paper-style summary rendered from the trace.
+trace-demo:
+	python examples/traced_parallel_run.py --trace run.jsonl
+	python -m repro.obs.report summary run.jsonl
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis \

@@ -29,6 +29,7 @@ from repro.cluster.trace import TraceCursor
 from repro.core.policies import NoRemappingPolicy, RemappingPolicy
 from repro.core.partition import SlicePartition
 from repro.core.remapper import Remapper
+from repro.obs.observer import resolve_observer
 from repro.util.validation import check_integer
 
 
@@ -84,13 +85,17 @@ class PhaseSimulator:
         policy: RemappingPolicy,
         *,
         record_timeline: bool = False,
+        observer=None,
     ):
         self.spec = spec
         self.policy = policy
+        # Scenario/timeline trace events (virtual-time observability);
+        # NULL_OBSERVER unless an observer or REPRO_OBS_TRACE is given.
+        self.observer = resolve_observer(observer)
         self.partition = SlicePartition.even(
             spec.total_planes, spec.n_nodes, spec.plane_points
         )
-        self.remapper = Remapper(self.partition, policy)
+        self.remapper = Remapper(self.partition, policy, observer=self.observer)
         self._cursors = [TraceCursor(t) for t in spec.traces]
         self._times = np.zeros(spec.n_nodes)
         self.profile = NodeProfile(spec.n_nodes)
@@ -167,6 +172,14 @@ class PhaseSimulator:
             self._makespans.append(float((tc - t0).max()))
         self._times = tc
         self.phases_run += 1
+        if self.observer.enabled:
+            self.observer.emit(
+                "sim_phase",
+                phase=self.phases_run,
+                makespan=float((tc - t0).max()),
+                computation=[float(x) for x in comp],
+                communication=[float(x) for x in comm],
+            )
         return comp
 
     def _charge_load_index_exchange(self) -> None:
@@ -224,6 +237,16 @@ class PhaseSimulator:
         interval) and return the result."""
         check_integer(phases, "phases", minimum=1)
         static = isinstance(self.policy, NoRemappingPolicy)
+        traced = self.observer.enabled
+        if traced:
+            self.observer.emit(
+                "sim_start",
+                n_nodes=self.spec.n_nodes,
+                policy=self.policy.name,
+                phases=phases,
+                total_planes=self.spec.total_planes,
+                plane_points=self.spec.plane_points,
+            )
         for _ in range(phases):
             comp = self.step_phase()
             self.remapper.record_phase(comp)
@@ -236,6 +259,19 @@ class PhaseSimulator:
                     self._partition_history.append(
                         self.partition.plane_counts().tolist()
                     )
+        if traced:
+            self.observer.emit(
+                "sim_end",
+                total_time=float(self._times.max()),
+                node_times=[float(t) for t in self._times],
+                phases=self.phases_run,
+                planes_moved=self.remapper.total_planes_moved(),
+                policy=self.policy.name,
+                final_plane_counts=self.partition.plane_counts().tolist(),
+                computation=[float(x) for x in self.profile.computation],
+                communication=[float(x) for x in self.profile.communication],
+                remapping=[float(x) for x in self.profile.remapping],
+            )
         return SimulationResult(
             total_time=float(self._times.max()),
             node_times=self._times.copy(),
@@ -254,7 +290,11 @@ class PhaseSimulator:
 
 
 def simulate(
-    spec: ClusterSpec, policy: RemappingPolicy, phases: int
+    spec: ClusterSpec,
+    policy: RemappingPolicy,
+    phases: int,
+    *,
+    observer=None,
 ) -> SimulationResult:
     """One-shot convenience wrapper."""
-    return PhaseSimulator(spec, policy).run(phases)
+    return PhaseSimulator(spec, policy, observer=observer).run(phases)

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.history import PhaseTimeHistory
 from repro.core.partition import SlicePartition
 from repro.core.policies import RemappingConfig, RemappingPolicy
+from repro.obs.observer import NULL_OBSERVER
 
 
 @dataclass(frozen=True)
@@ -59,9 +60,11 @@ class Remapper:
         self,
         partition: SlicePartition,
         policy: RemappingPolicy,
+        observer=NULL_OBSERVER,
     ):
         self.partition = partition
         self.policy = policy
+        self.observer = observer
         self.config: RemappingConfig = policy.config
         self.histories = [
             PhaseTimeHistory(self.config.history)
@@ -120,6 +123,20 @@ class Remapper:
             planes_moved=int(np.abs(flows).sum()),
         )
         self.decisions.append(decision)
+        if self.observer.enabled:
+            self.observer.emit(
+                "remap_decision",
+                phase=self.phases_seen,
+                policy=self.policy.name,
+                flows=[int(x) for x in flows],
+                predicted_times=[float(t) for t in times],
+                planes_moved=decision.planes_moved,
+                plane_counts=self.partition.plane_counts().tolist(),
+            )
+            if decision.planes_moved:
+                self.observer.counter("migration.planes").add(
+                    decision.planes_moved
+                )
         return decision
 
     def after_phase(self, comp_times: np.ndarray) -> RemapDecision | None:

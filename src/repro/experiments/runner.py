@@ -15,9 +15,12 @@ longest).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from collections.abc import Callable
+
+from repro.obs.observer import TRACE_ENV_VAR, observer_from_env
 
 from repro.experiments import (
     ext_adaptation,
@@ -85,15 +88,39 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="scaled-down settings (~10x fewer phases / smaller grids)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a repro.obs JSONL trace of the run: per-experiment "
+            "spans here, plus solver/driver/simulator events from every "
+            "instrumented layer (equivalent to REPRO_OBS_TRACE=PATH; "
+            "inspect with 'python -m repro.obs.report summary PATH')"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.trace:
+        # The instrumented layers discover the observer through the
+        # environment, so experiment code needs no plumbing.
+        os.environ[TRACE_ENV_VAR] = args.trace
+    obs = observer_from_env()
 
     names = list(ORDER) if "all" in args.experiments else args.experiments
     for name in names:
         start = time.perf_counter()
+        if obs.enabled:
+            obs.emit("experiment_start", name=name, fast=args.fast)
         report = EXPERIMENTS[name](fast=args.fast)
         elapsed = time.perf_counter() - start
+        if obs.enabled:
+            obs.emit("experiment_end", name=name, duration=elapsed)
         print(report)
         print(f"[{name} completed in {elapsed:.1f}s]\n")
+    if obs.enabled:
+        obs.emit_metrics()
+        obs.close()
     return 0
 
 

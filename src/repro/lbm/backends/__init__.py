@@ -22,11 +22,14 @@ from repro.lbm.backends.registry import (
 # Importing the implementation modules registers the built-in backends.
 from repro.lbm.backends.reference import ReferenceBackend
 from repro.lbm.backends.fused import FusedBackend
+from repro.lbm.backends.instrumented import KERNEL_NAMES, InstrumentedBackend
 
 __all__ = [
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND",
+    "KERNEL_NAMES",
     "KernelBackend",
+    "InstrumentedBackend",
     "ReferenceBackend",
     "FusedBackend",
     "available_backends",

@@ -92,6 +92,7 @@ def create_backend(
     config: "LBMConfig",
     shape: tuple[int, ...],
     solid_mask: np.ndarray,
+    observer=None,
 ) -> "KernelBackend":
     """Instantiate the backend the config selects, for a (local) grid.
 
@@ -107,10 +108,21 @@ def create_backend(
         after plane migration.
     solid_mask:
         Boolean solid-node field of that shape (bounce-back support).
+    observer:
+        Optional :class:`repro.obs.Observer`.  When enabled, the backend
+        is wrapped in an :class:`~repro.lbm.backends.instrumented.
+        InstrumentedBackend` that times every kernel call; when ``None``
+        or disabled the raw backend is returned and the hot path is
+        untouched.
     """
-    return get_backend_class(getattr(config, "backend", None))(
+    backend = get_backend_class(getattr(config, "backend", None))(
         config, shape, solid_mask
     )
+    if observer is not None and observer.enabled:
+        from repro.lbm.backends.instrumented import InstrumentedBackend
+
+        return InstrumentedBackend(backend, observer)
+    return backend
 
 
 class KernelBackend(abc.ABC):

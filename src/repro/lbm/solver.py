@@ -156,8 +156,14 @@ class MulticomponentLBM:
     - ``u_eq``:   per-component equilibrium velocities, ``(C, D, *S)``
     """
 
-    def __init__(self, config: LBMConfig):
+    def __init__(self, config: LBMConfig, observer=None):
+        from repro.obs.observer import resolve_observer
+
         self.config = config
+        #: Observability handle (:data:`repro.obs.NULL_OBSERVER` unless a
+        #: real observer is passed or ``REPRO_OBS_TRACE`` is set); a
+        #: disabled observer keeps the step loop untouched.
+        self.observer = resolve_observer(observer)
         lat = config.lattice
         geo = config.geometry
         shape = geo.shape
@@ -194,8 +200,12 @@ class MulticomponentLBM:
         self.u_eq = np.zeros_like(self.mom)
 
         #: Kernel backend (owns the hot-loop scratch; see
-        #: :mod:`repro.lbm.backends`).
-        self.backend = create_backend(config, shape, self.solid)
+        #: :mod:`repro.lbm.backends`).  With an enabled observer it is
+        #: wrapped for per-kernel timing; disabled runs get the raw
+        #: backend, so the hot path pays nothing.
+        self.backend = create_backend(
+            config, shape, self.solid, observer=self.observer
+        )
 
         self._wall_field: np.ndarray | None = None
         if config.adhesion is not None:
@@ -269,6 +279,15 @@ class MulticomponentLBM:
     def step(self) -> None:
         """Advance one LBM phase (collision, streaming, walls, moments,
         forces, velocities)."""
+        if self.observer.enabled:
+            # Histogram-only span: per-step durations are summarized in
+            # the metrics snapshot, not spelled out event-by-event.
+            with self.observer.span("solver.step", emit=False):
+                self._step_once()
+        else:
+            self._step_once()
+
+    def _step_once(self) -> None:
         self.collide()
         self.stream_and_bounce()
         self.update_moments_and_forces()

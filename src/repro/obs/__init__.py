@@ -1,0 +1,46 @@
+"""``repro.obs`` — the run-trace observability layer.
+
+Off-by-default metrics (:mod:`repro.obs.metrics`), span tracing and the
+central :class:`Observer` handle (:mod:`repro.obs.observer`), JSONL/memory
+event sinks (:mod:`repro.obs.sink`) and the ``summary``/``compare`` trace
+CLI (:mod:`repro.obs.report`, runnable as ``python -m repro.obs.report``).
+
+Enable globally with ``REPRO_OBS_TRACE=/path/trace.jsonl`` or per run by
+passing an :class:`Observer` to the solver, the parallel driver or the
+cluster simulator.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    Observer,
+    NullObserver,
+    Span,
+    TRACE_ENV_VAR,
+    observer_from_env,
+    resolve_observer,
+)
+from repro.obs.sink import EventSink, JsonlSink, MemorySink, read_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "Observer",
+    "Span",
+    "TRACE_ENV_VAR",
+    "EventSink",
+    "JsonlSink",
+    "MemorySink",
+    "observer_from_env",
+    "read_trace",
+    "resolve_observer",
+]

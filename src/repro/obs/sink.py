@@ -1,0 +1,118 @@
+"""Event sinks: where trace events go.
+
+Events are plain dicts.  The sink assigns each a global sequence number
+(``seq``) and a timestamp relative to the sink's creation (``ts``), both
+under one lock, so a multi-rank trace has a single total order even
+though rank threads emit concurrently.  Per-rank sub-orders (filter by
+``rank``) are deterministic for a deterministic run; the interleaving
+between ranks is not.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from pathlib import Path
+
+
+class EventSink:
+    """Base sink: orders events and hands them to :meth:`_write`."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._t0 = clock()
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def emit(self, event: dict) -> dict:
+        """Stamp *event* with ``seq``/``ts`` and record it; returns the
+        stamped event (the same dict, mutated)."""
+        with self._lock:
+            event["seq"] = self._seq
+            event["ts"] = round(self._clock() - self._t0, 9)
+            self._seq += 1
+            self._write(event)
+        return event
+
+    def _write(self, event: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any underlying resource (idempotent)."""
+
+
+class MemorySink(EventSink):
+    """Keeps events in a list — the test and report-building sink."""
+
+    def __init__(self, clock=time.perf_counter):
+        super().__init__(clock)
+        self.events: list[dict] = []
+
+    def _write(self, event: dict) -> None:
+        self.events.append(event)
+
+
+class JsonlSink(EventSink):
+    """Appends one JSON object per line to a file.
+
+    The file is opened lazily on the first event and closed via
+    :meth:`close` (or context-manager exit); lines are flushed per event
+    so a crashed run still leaves a readable prefix.
+    """
+
+    def __init__(self, path: str | Path, clock=time.perf_counter):
+        super().__init__(clock)
+        self.path = Path(path)
+        self._fh: io.TextIOBase | None = None
+
+    def _write(self, event: dict) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("w", encoding="utf-8")
+        self._fh.write(json.dumps(event, sort_keys=True, default=_jsonable))
+        self._fh.write("\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def _jsonable(value: object) -> object:
+    """Fallback encoder: numpy scalars/arrays and other sequence-likes."""
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"event field of type {type(value).__name__} "
+                    f"is not JSON-serializable: {value!r}")
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Load a JSONL trace back into a list of event dicts (in ``seq``
+    order — re-sorted defensively in case lines were appended out of
+    order by a crashing writer)."""
+    events: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: not a JSON event line: {exc}"
+                ) from exc
+    events.sort(key=lambda e: e.get("seq", 0))
+    return events

@@ -36,6 +36,8 @@ from repro.lbm.equilibrium import equilibrium
 from repro.lbm.forces import body_force_field, wall_force_field
 from repro.lbm.geometry import ChannelGeometry
 from repro.lbm.solver import LBMConfig
+from repro.obs.observer import Observer, resolve_observer
+from repro.obs.sink import JsonlSink
 from repro.parallel.api import Communicator
 from repro.parallel.decomposition import SlabDecomposition
 from repro.parallel.halo import HaloExchanger
@@ -73,6 +75,7 @@ class ParallelLBM:
         policy: str = "filtered",
         remap_config: RemappingConfig | None = None,
         load_time_fn: LoadTimeFn | None = None,
+        observer=None,
     ):
         if len(initial_counts) != comm.size:
             raise ValueError(
@@ -90,11 +93,18 @@ class ParallelLBM:
         self.load_time_fn = load_time_fn
         self.decomp = SlabDecomposition(initial_counts)
 
+        # Rank-scoped observability handle; the shared NULL_OBSERVER when
+        # neither an observer nor REPRO_OBS_TRACE is provided.
+        obs = resolve_observer(observer)
+        if obs.enabled and obs.rank is None:
+            obs = obs.child(comm.rank)
+        self.observer = obs
+
         lat = config.lattice
         geo = config.geometry
         self.cross = geo.shape[1:]
         self.plane_points = int(np.prod(self.cross))
-        self.halo = HaloExchanger(lat, comm)
+        self.halo = HaloExchanger(lat, comm, observer=obs)
         self.history = PhaseTimeHistory(self.remap_config.history)
 
         # Cross-section patterns (walls are x-invariant: axis 0 is periodic).
@@ -162,7 +172,9 @@ class ParallelLBM:
         self._solid3 = np.broadcast_to(self._solid_pattern, shape).copy()
         # Ranks inherit the backend from the shared config; scratch is
         # sized for the local slab, so rebuild after every migration.
-        self.backend = create_backend(self.config, shape, self._solid3)
+        self.backend = create_backend(
+            self.config, shape, self._solid3, observer=self.observer
+        )
 
     # -------------------------------------------------------------- physics
     def _collide(self) -> None:
@@ -191,16 +203,19 @@ class ParallelLBM:
 
     def step_phase(self) -> float:
         """One full phase; returns the load-index sample for this phase."""
-        t0 = time.perf_counter()
-        self._collide()
-        t_compute = time.perf_counter() - t0
+        if self.observer.enabled:
+            t_compute = self._timed_phase()
+        else:
+            t0 = time.perf_counter()
+            self._collide()
+            t_compute = time.perf_counter() - t0
 
-        self.halo.exchange_f(self.f, self.phase)
+            self.halo.exchange_f(self.f, self.phase)
 
-        t1 = time.perf_counter()
-        self._stream_and_bounce()
-        self._moments_and_forces(self.phase)
-        t_compute += time.perf_counter() - t1
+            t1 = time.perf_counter()
+            self._stream_and_bounce()
+            self._moments_and_forces(self.phase)
+            t_compute += time.perf_counter() - t1
 
         self.phase += 1
         if self.load_time_fn is not None:
@@ -213,6 +228,87 @@ class ParallelLBM:
         self.history.record(sample)
         return sample
 
+    def _timed_phase(self) -> float:
+        """The same phase sequence with per-segment timings and halo byte
+        deltas emitted as one ``phase`` trace event.  Returns the compute
+        time with exactly the untraced composition (halo-f wait excluded,
+        density-halo wait included, matching the load-index semantics)."""
+        halo = self.halo
+        bf0, bs0 = halo.bytes_f, halo.bytes_scalar
+        t0 = time.perf_counter()
+        self._collide()
+        t1 = time.perf_counter()
+        halo.exchange_f(self.f, self.phase)
+        t2 = time.perf_counter()
+        self._stream_and_bounce()
+        t3 = time.perf_counter()
+        # _moments_and_forces, split so the density-halo wait is visible.
+        self.backend.moments(self.f, self.rho, self.mom)
+        t4 = time.perf_counter()
+        halo.exchange_scalar(self.rho, self.phase, "halo_rho")
+        t5 = time.perf_counter()
+        self.backend.forces_and_velocities(
+            self.rho,
+            self.mom,
+            self.force,
+            self.u_eq,
+            accel=self._accel,
+            psi_mask=self._psi_mask,
+            vel_mask=self._collide_mask,
+        )
+        t6 = time.perf_counter()
+        self.observer.emit(
+            "phase",
+            phase=self.phase,
+            planes=self.local_planes,
+            t_collide=t1 - t0,
+            t_halo_f=t2 - t1,
+            t_stream_bounce=t3 - t2,
+            t_moments=(t4 - t3) + (t6 - t5),
+            t_halo_rho=t5 - t4,
+            t_total=t6 - t0,
+            halo_f_bytes=halo.bytes_f - bf0,
+            halo_rho_bytes=halo.bytes_scalar - bs0,
+        )
+        return (t1 - t0) + (t6 - t2)
+
+    def _interior_invariants(self) -> tuple[list[float], list[list[float]]]:
+        """Per-component interior mass and momentum — the conserved
+        quantities migration must not create or destroy (trace payload
+        for ``remap_begin``/``remap_end`` events)."""
+        interior = self.f[:, :, 1:-1]
+        c_count, q_count = interior.shape[0], interior.shape[1]
+        per_q = interior.reshape(c_count, q_count, -1).sum(axis=2)  # (C, Q)
+        masses = [comp.mass for comp in self.config.components]
+        mass = [float(m * per_q[ci].sum()) for ci, m in enumerate(masses)]
+        mom = per_q @ self.config.lattice.c.astype(np.float64)  # (C, D)
+        momentum = [
+            [float(m * x) for x in mom[ci]] for ci, m in enumerate(masses)
+        ]
+        return mass, momentum
+
+    def _emit_remap_state(self, type_: str, rnd: int) -> None:
+        mass, momentum = self._interior_invariants()
+        self.observer.emit(
+            type_, round=rnd, planes=self.local_planes,
+            mass=mass, momentum=momentum,
+        )
+
+    def _emit_migrate(
+        self, rnd: int, action: str, direction: str, package: np.ndarray
+    ) -> None:
+        self.observer.emit(
+            "migrate",
+            round=rnd,
+            action=action,
+            direction=direction,
+            planes=int(package.shape[2]),
+            bytes=int(package.nbytes),
+        )
+        self.observer.counter("migration.planes").add(package.shape[2])
+        if action == "send":
+            self.observer.counter("migration.bytes").add(package.nbytes)
+
     # ------------------------------------------------------------ remapping
     def _predicted_time(self) -> float:
         return self.remap_config.predictor.predict(self.history)
@@ -224,10 +320,15 @@ class ParallelLBM:
             return
         if self.phase % self.remap_config.interval != 0:
             return
+        traced = self.observer.enabled
+        if traced:
+            self._emit_remap_state("remap_begin", self.phase)
         if self.policy_name == "global":
             self._remap_global()
         else:
             self._remap_local()
+        if traced:
+            self._emit_remap_state("remap_end", self.phase)
         self.plane_history.append(self.local_planes)
 
     def _remap_local(self) -> None:
@@ -314,6 +415,24 @@ class ParallelLBM:
             out_right -= cut_right
             out_left -= cut_left
 
+        traced = self.observer.enabled
+        if traced:
+            self.observer.emit(
+                "remap_decision",
+                round=rnd,
+                policy=self.policy_name,
+                load_index=my_time,
+                points=my_points,
+                give_left_pts=float(give_left_pts),
+                give_right_pts=float(give_right_pts),
+                net_left=float(net_left),
+                net_right=float(net_right),
+                out_left=out_left,
+                out_right=out_right,
+                in_left=in_left,
+                in_right=in_right,
+            )
+
         # 5. Migration (senders include the package; receivers always get a
         # message when the netting said a transfer is due, possibly empty
         # because of the sender's clamp).
@@ -323,6 +442,8 @@ class ParallelLBM:
                 package, self.f = pack_planes(self.f, "left", out_left)
                 self._after_resize(-out_left)
                 self.planes_sent += out_left
+                if traced:
+                    self._emit_migrate(rnd, "send", "left", package)
             comm.send(left, ("migrate", rnd, "L"), package)
         if out_right > 0 or (right is not None and net_right > 0):
             package = None
@@ -330,6 +451,8 @@ class ParallelLBM:
                 package, self.f = pack_planes(self.f, "right", out_right)
                 self._after_resize(-out_right)
                 self.planes_sent += out_right
+                if traced:
+                    self._emit_migrate(rnd, "send", "right", package)
             comm.send(right, ("migrate", rnd, "R"), package)
         if in_left > 0:
             package = comm.recv(left, ("migrate", rnd, "R"))
@@ -337,12 +460,16 @@ class ParallelLBM:
                 self.f = unpack_planes(self.f, package, "left")
                 self._after_resize(package.shape[2])
                 self.planes_received += package.shape[2]
+                if traced:
+                    self._emit_migrate(rnd, "recv", "left", package)
         if in_right > 0:
             package = comm.recv(right, ("migrate", rnd, "L"))
             if package is not None:
                 self.f = unpack_planes(self.f, package, "right")
                 self._after_resize(package.shape[2])
                 self.planes_received += package.shape[2]
+                if traced:
+                    self._emit_migrate(rnd, "recv", "right", package)
 
         # 6. Refresh derived state for the (possibly) new slab.
         self._moments_and_forces(("post_remap", rnd))
@@ -363,6 +490,16 @@ class ParallelLBM:
         times = np.array([g[1] for g in gathered])
         partition = SlicePartition(counts, self.plane_points)
         flows = GlobalPolicy(self.remap_config).decide(partition, times)
+        traced = self.observer.enabled
+        if traced:
+            self.observer.emit(
+                "remap_decision",
+                round=rnd,
+                policy=self.policy_name,
+                load_index=float(times[rank]),
+                points=my_planes * self.plane_points,
+                flows=[int(x) for x in flows],
+            )
 
         # Apply this rank's edges, left first (matching flow semantics:
         # flows[e] planes go from rank e to rank e+1).
@@ -373,11 +510,15 @@ class ParallelLBM:
                 self.f = unpack_planes(self.f, package, "left")
                 self._after_resize(package.shape[2])
                 self.planes_received += package.shape[2]
+                if traced:
+                    self._emit_migrate(rnd, "recv", "left", package)
             elif flow < 0:  # sending leftward
                 package, self.f = pack_planes(self.f, "left", -flow)
                 self._after_resize(flow)
                 self.planes_sent += -flow
                 comm.send(rank - 1, ("migrate", rnd, "L"), package)
+                if traced:
+                    self._emit_migrate(rnd, "send", "left", package)
         if rank < size - 1:
             flow = int(flows[rank])
             if flow > 0:  # sending rightward
@@ -385,11 +526,15 @@ class ParallelLBM:
                 self._after_resize(-flow)
                 self.planes_sent += flow
                 comm.send(rank + 1, ("migrate", rnd, "R"), package)
+                if traced:
+                    self._emit_migrate(rnd, "send", "right", package)
             elif flow < 0:  # receiving from the right
                 package = comm.recv(rank + 1, ("migrate", rnd, "L"))
                 self.f = unpack_planes(self.f, package, "right")
                 self._after_resize(package.shape[2])
                 self.planes_received += package.shape[2]
+                if traced:
+                    self._emit_migrate(rnd, "recv", "right", package)
         self._moments_and_forces(("post_remap", rnd))
 
     def _after_resize(self, delta: int) -> None:
@@ -403,6 +548,16 @@ class ParallelLBM:
             self.step_phase()
             self.maybe_remap()
         interior = np.ascontiguousarray(self.f[:, :, 1:-1])
+        if self.observer.enabled:
+            self.observer.emit(
+                "run_end",
+                phases=self.phase,
+                planes=self.local_planes,
+                planes_sent=self.planes_sent,
+                planes_received=self.planes_received,
+                halo_f_bytes=self.halo.bytes_f,
+                halo_rho_bytes=self.halo.bytes_scalar,
+            )
         return ParallelRunResult(
             rank=self.comm.rank,
             f_interior=interior,
@@ -430,11 +585,20 @@ def run_parallel_lbm(
     load_time_fn: LoadTimeFn | None = None,
     initial_counts: list[int] | None = None,
     timeout: float = 600.0,
+    observer=None,
+    trace_path: str | None = None,
 ) -> list[ParallelRunResult]:
     """Run the parallel LBM on an in-process cluster of *n_ranks* threads.
 
     Returns the per-rank results in rank order; use
     :func:`assemble_global_f` to reconstruct the global field.
+
+    Observability: pass an enabled :class:`repro.obs.Observer` (shared
+    sink; each rank gets a rank-stamped child), or *trace_path* to write
+    a self-contained JSONL trace (``run_start`` metadata, per-phase
+    timings and halo bytes, remap/migration events, a final metrics
+    snapshot).  With neither, the ``REPRO_OBS_TRACE`` environment
+    variable is consulted; unset means zero instrumentation overhead.
     """
     total_planes = config.geometry.shape[0]
     if initial_counts is None:
@@ -442,6 +606,25 @@ def run_parallel_lbm(
         if base < 1:
             raise ValueError("more ranks than planes")
         initial_counts = [base + (1 if r < extra else 0) for r in range(n_ranks)]
+
+    owns_observer = False
+    if trace_path is not None:
+        if observer is not None:
+            raise ValueError("pass either observer or trace_path, not both")
+        observer = Observer(sink=JsonlSink(trace_path))
+        owns_observer = True
+    obs = resolve_observer(observer)
+    if obs.enabled:
+        obs.emit(
+            "run_start",
+            n_ranks=n_ranks,
+            backend=config.backend,
+            policy=policy,
+            shape=list(config.geometry.shape),
+            n_components=config.n_components,
+            phases=phases,
+            initial_counts=list(initial_counts),
+        )
 
     def rank_main(comm: Communicator) -> ParallelRunResult:
         driver = ParallelLBM(
@@ -451,10 +634,18 @@ def run_parallel_lbm(
             policy=policy,
             remap_config=remap_config,
             load_time_fn=load_time_fn,
+            observer=obs,
         )
         return driver.run(phases)
 
-    return run_spmd(n_ranks, rank_main, timeout=timeout)
+    try:
+        results = run_spmd(n_ranks, rank_main, timeout=timeout)
+        if obs.enabled:
+            obs.emit_metrics()
+        return results
+    finally:
+        if owns_observer:
+            obs.close()
 
 
 def assemble_global_f(results: list[ParallelRunResult]) -> np.ndarray:

@@ -11,6 +11,12 @@ Per phase the parallel LBM synchronizes twice (Figure 2):
 
 The halo topology is a ring (periodic x); a world of size 1 wraps its own
 planes locally.
+
+With an enabled :class:`repro.obs.Observer` the exchanger counts the
+bytes it ships (``halo.f.bytes`` / ``halo.scalar.bytes`` counters, plus
+the cumulative per-exchanger totals ``bytes_f`` / ``bytes_scalar`` that
+the parallel driver folds into its per-phase trace events).  Disabled,
+the hot path is byte-for-byte the original.
 """
 
 from __future__ import annotations
@@ -18,17 +24,28 @@ from __future__ import annotations
 import numpy as np
 
 from repro.lbm.lattice import Lattice
+from repro.obs.observer import NULL_OBSERVER
 from repro.parallel.api import Communicator
 
 
 class HaloExchanger:
     """Fills the ghost planes of one rank's slab arrays."""
 
-    def __init__(self, lattice: Lattice, comm: Communicator):
+    def __init__(
+        self, lattice: Lattice, comm: Communicator, observer=NULL_OBSERVER
+    ):
         self.lattice = lattice
         self.comm = comm
+        self.observer = observer
         self.right_dirs = lattice.directions_with(0, +1)
         self.left_dirs = lattice.directions_with(0, -1)
+        #: Cumulative payload bytes sent by this rank (only tracked when
+        #: the observer is enabled; stay 0 otherwise).
+        self.bytes_f = 0
+        self.bytes_scalar = 0
+        if observer.enabled:
+            self._counter_f = observer.counter("halo.f.bytes")
+            self._counter_scalar = observer.counter("halo.scalar.bytes")
 
     # ----------------------------------------------------------------- f
     def exchange_f(self, f: np.ndarray, phase: int) -> None:
@@ -37,6 +54,10 @@ class HaloExchanger:
         comm = self.comm
         send_right = np.ascontiguousarray(f[:, self.right_dirs, -2])
         send_left = np.ascontiguousarray(f[:, self.left_dirs, 1])
+        if self.observer.enabled:
+            nbytes = send_right.nbytes + send_left.nbytes
+            self.bytes_f += nbytes
+            self._counter_f.add(nbytes)
         if comm.size == 1:
             f[:, self.right_dirs, 0] = send_right
             f[:, self.left_dirs, -1] = send_left
@@ -59,6 +80,10 @@ class HaloExchanger:
         comm = self.comm
         send_right = np.ascontiguousarray(field[:, -2])
         send_left = np.ascontiguousarray(field[:, 1])
+        if self.observer.enabled:
+            nbytes = send_right.nbytes + send_left.nbytes
+            self.bytes_scalar += nbytes
+            self._counter_scalar.add(nbytes)
         if comm.size == 1:
             field[:, 0] = send_right
             field[:, -1] = send_left

@@ -15,7 +15,9 @@ class Timer:
         print(t.elapsed)
 
     Re-entering restarts the clock; *elapsed* keeps the last lap and
-    *total* accumulates across laps.
+    *total* accumulates across laps.  A lap aborted by an exception is
+    discarded — *elapsed*, *total*, *laps* and therefore *mean* only ever
+    reflect laps that ran to completion — and the timer stays reusable.
     """
 
     elapsed: float = 0.0
@@ -27,13 +29,15 @@ class Timer:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc: object) -> None:
+    def __exit__(self, exc_type=None, exc=None, tb=None) -> None:
         if self._start is None:
             raise RuntimeError("Timer exited without entering")
-        self.elapsed = time.perf_counter() - self._start
+        start, self._start = self._start, None
+        if exc_type is not None:
+            return
+        self.elapsed = time.perf_counter() - start
         self.total += self.elapsed
         self.laps += 1
-        self._start = None
 
     @property
     def mean(self) -> float:

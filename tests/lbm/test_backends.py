@@ -395,3 +395,51 @@ class TestFusedAllocationFree:
             solver.step()
             seen.add(id(solver.f))
         assert len(seen) == 2
+
+    def test_disabled_observability_stays_allocation_free(self, monkeypatch):
+        """The zero-overhead guarantee: with no trace requested, the solver
+        must hold a bare (uninstrumented) fused backend and the steady-state
+        step must stay allocation-free — no spans, events, or wrapper frames
+        on the hot path."""
+        from repro.obs import NULL_OBSERVER, TRACE_ENV_VAR
+        from repro.lbm.backends.fused import FusedBackend
+
+        monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+        cfg = two_component_config(D3Q19, scenario="walls", backend="fused")
+        solver = MulticomponentLBM(cfg)
+        assert solver.observer is NULL_OBSERVER
+        assert type(solver.backend) is FusedBackend
+        solver.run(3)
+
+        tracemalloc.start()
+        try:
+            baseline, _ = tracemalloc.get_traced_memory()
+            solver.run(5)
+            current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+
+        field_bytes = cfg.lattice.Q * np.prod(cfg.geometry.shape) * 8
+        assert peak - baseline < min(64 * 1024, field_bytes / 4)
+        assert current - baseline < 16 * 1024
+
+    def test_enabled_observer_records_kernel_timings(self):
+        """Opting in wraps the backend and fills per-kernel histograms —
+        the fused results stay bit-identical to an untraced run."""
+        from repro.obs import MemorySink, Observer
+        from repro.lbm.backends.instrumented import InstrumentedBackend
+
+        cfg = two_component_config(D2Q9, backend="fused")
+        plain = MulticomponentLBM(cfg)
+        traced = MulticomponentLBM(cfg, observer=Observer(sink=MemorySink()))
+        assert isinstance(traced.backend, InstrumentedBackend)
+
+        plain.run(3)
+        traced.run(3)
+        np.testing.assert_array_equal(traced.f, plain.f)
+
+        metrics = traced.observer.registry.snapshot()
+        for kernel in ("stream", "bounce_back", "collide_bgk", "moments"):
+            hist = metrics[f"kernel.fused.{kernel}"]
+            assert hist["count"] > 0 and hist["total"] > 0
+            assert metrics[f"kernel.fused.{kernel}.points"]["value"] > 0

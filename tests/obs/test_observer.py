@@ -1,0 +1,138 @@
+"""Unit tests for the observer core: null behaviour, spans, sinks and
+environment activation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_OBSERVER,
+    JsonlSink,
+    MemorySink,
+    Observer,
+    TRACE_ENV_VAR,
+    read_trace,
+)
+from repro.obs.observer import observer_from_env, resolve_observer
+
+
+class TestNullObserver:
+    def test_disabled_and_inert(self):
+        assert NULL_OBSERVER.enabled is False
+        assert NULL_OBSERVER.emit("anything", x=1) is None
+        assert NULL_OBSERVER.child(3) is NULL_OBSERVER
+        assert NULL_OBSERVER.counter("c") is None
+        with NULL_OBSERVER.span("s") as span:
+            pass
+        assert span is NULL_OBSERVER.span("s"), "null span must be shared"
+
+    def test_resolve_defaults_to_null(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+        assert resolve_observer(None) is NULL_OBSERVER
+
+    def test_resolve_passes_through(self):
+        obs = Observer(sink=MemorySink())
+        assert resolve_observer(obs) is obs
+
+
+class TestObserverEvents:
+    def test_emit_stamps_seq_ts_and_rank(self):
+        obs = Observer(sink=MemorySink())
+        child = obs.child(2)
+        obs.emit("a")
+        child.emit("b", extra=1)
+        events = obs.sink.events
+        assert [e["seq"] for e in events] == [0, 1]
+        assert all(e["ts"] >= 0 for e in events)
+        assert "rank" not in events[0]
+        assert events[1]["rank"] == 2 and events[1]["extra"] == 1
+
+    def test_children_share_sink_and_registry(self):
+        obs = Observer(sink=MemorySink())
+        obs.child(0).counter("n").add(1)
+        obs.child(1).counter("n").add(2)
+        assert obs.counter("n").value == 3.0
+
+    def test_span_records_histogram_and_event(self):
+        obs = Observer(sink=MemorySink())
+        with obs.span("work", detail="x") as span:
+            pass
+        assert span.elapsed >= 0
+        hist = obs.histogram("span.work")
+        assert hist.count == 1
+        (event,) = obs.sink.events
+        assert event["type"] == "span"
+        assert event["name"] == "work" and event["detail"] == "x"
+        assert event["duration"] == pytest.approx(span.elapsed)
+
+    def test_span_emit_false_is_histogram_only(self):
+        obs = Observer(sink=MemorySink())
+        with obs.span("quiet", emit=False):
+            pass
+        assert obs.sink.events == []
+        assert obs.histogram("span.quiet").count == 1
+
+    def test_span_on_exception_emits_error_and_discards_lap(self):
+        obs = Observer(sink=MemorySink())
+        with pytest.raises(RuntimeError):
+            with obs.span("broken"):
+                raise RuntimeError("boom")
+        (event,) = obs.sink.events
+        assert event["type"] == "error"
+        assert event["span"] == "broken" and event["error"] == "RuntimeError"
+        assert obs.histogram("span.broken").count == 0
+
+    def test_emit_metrics_snapshots_registry(self):
+        obs = Observer(sink=MemorySink())
+        obs.counter("halo.bytes").add(10)
+        obs.emit_metrics()
+        (event,) = obs.sink.events
+        assert event["metrics"]["halo.bytes"]["value"] == 10.0
+
+
+class TestJsonlSink:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "sub" / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            obs = Observer(sink=sink)
+            obs.emit("run_start", shape=[4, 4])
+            obs.child(1).emit("phase", phase=1)
+        events = read_trace(path)
+        assert [e["type"] for e in events] == ["run_start", "phase"]
+        assert events[0]["shape"] == [4, 4]
+        assert events[1]["rank"] == 1
+
+    def test_numpy_payloads_serialize(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"type": "x", "arr": np.arange(3), "val": np.float64(2)})
+        (event,) = read_trace(path)
+        assert event["arr"] == [0, 1, 2] and event["val"] == 2.0
+
+    def test_bad_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"seq": 0}\nnot json\n')
+        with pytest.raises(ValueError, match="t.jsonl:2"):
+            read_trace(path)
+
+
+class TestEnvActivation:
+    def test_env_var_enables_and_caches(self, tmp_path, monkeypatch):
+        path = tmp_path / "env_trace.jsonl"
+        monkeypatch.setenv(TRACE_ENV_VAR, str(path))
+        first = observer_from_env()
+        second = observer_from_env()
+        assert first.enabled and first is second, (
+            "one observer per path, so solvers append rather than truncate"
+        )
+        first.emit("hello")
+        first.close()
+        assert json.loads(path.read_text())["type"] == "hello"
+
+    def test_unset_means_null(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+        assert observer_from_env() is NULL_OBSERVER

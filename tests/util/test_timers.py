@@ -27,6 +27,37 @@ class TestTimer:
         with pytest.raises(RuntimeError):
             Timer().__exit__(None, None, None)
 
+    def test_raising_lap_is_discarded(self):
+        """A lap aborted by an exception must not pollute elapsed/total/mean,
+        and the timer must stay reusable afterwards."""
+        t = Timer()
+        with t:
+            time.sleep(0.005)
+        elapsed, total, laps = t.elapsed, t.total, t.laps
+
+        with pytest.raises(ValueError):
+            with t:
+                time.sleep(0.005)
+                raise ValueError("abort lap")
+
+        assert (t.elapsed, t.total, t.laps) == (elapsed, total, laps)
+        assert t.mean == pytest.approx(total / laps)
+
+        with t:
+            time.sleep(0.005)
+        assert t.laps == laps + 1
+        assert t.total > total
+
+    def test_exception_does_not_leave_timer_started(self):
+        t = Timer()
+        with pytest.raises(ValueError):
+            with t:
+                raise ValueError
+        # A leaked _start would make this second __exit__ "succeed" with a
+        # bogus lap instead of raising.
+        with pytest.raises(RuntimeError):
+            t.__exit__(None, None, None)
+
 
 class TestFormatDuration:
     def test_milliseconds(self):

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Coverage ratchet: fail CI when line coverage drops below the committed
+floor, and make raising the floor a one-command operation.
+
+    python tools/coverage_ratchet.py check coverage.json
+    python tools/coverage_ratchet.py update coverage.json   # raise the floor
+
+``coverage.json`` is the report written by ``pytest --cov=repro
+--cov-report=json``.  The floor only moves up: ``update`` refuses to
+lower it, so coverage can ratchet but never quietly regress.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+RATCHET_PATH = Path(__file__).resolve().parent.parent / "coverage_ratchet.json"
+
+#: Slack between the measured percentage and the committed floor: absorbs
+#: platform-to-platform line-count jitter without hiding real drops.
+MARGIN = 0.5
+
+
+def measured_percent(coverage_json: Path) -> float:
+    doc = json.loads(coverage_json.read_text(encoding="utf-8"))
+    return float(doc["totals"]["percent_covered"])
+
+
+def load_floor() -> float:
+    return float(json.loads(RATCHET_PATH.read_text())["line_percent_floor"])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("command", choices=("check", "update"))
+    parser.add_argument("coverage_json", type=Path)
+    args = parser.parse_args(argv)
+
+    percent = measured_percent(args.coverage_json)
+    floor = load_floor()
+
+    if args.command == "check":
+        if percent + MARGIN < floor:
+            print(
+                f"FAIL: coverage {percent:.2f}% is below the ratchet floor "
+                f"{floor:.2f}% (margin {MARGIN}%)"
+            )
+            return 1
+        print(f"OK: coverage {percent:.2f}% >= floor {floor:.2f}%")
+        if percent > floor + 5.0:
+            print(
+                "note: coverage is well above the floor — consider "
+                f"`python tools/coverage_ratchet.py update {args.coverage_json}`"
+            )
+        return 0
+
+    # update: floors only move up
+    new_floor = round(percent, 2)
+    if new_floor <= floor:
+        print(f"floor stays at {floor:.2f}% (measured {percent:.2f}%)")
+        return 0
+    RATCHET_PATH.write_text(
+        json.dumps(
+            {
+                "line_percent_floor": new_floor,
+                "source": "pytest --cov=repro --cov-report=json",
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"floor raised {floor:.2f}% -> {new_floor:.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
