@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-kernels experiments experiments-fast \
+.PHONY: install test lint bench bench-kernels experiments experiments-fast \
     trace-demo clean
 
 install:
@@ -6,6 +6,12 @@ install:
 
 test:
 	pytest tests/
+
+# Repo-specific AST invariant checkers + mypy/ruff error-count ratchet.
+# The ratchet skips tools that are not installed locally; CI installs them.
+lint:
+	PYTHONPATH=src python -m repro.analysis src
+	python tools/lint_ratchet.py check
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,127 @@
+"""REP003 — every run must be deterministic from its seed.
+
+PR 2's golden-run test hashes the structural fields of a full parallel
+trace; it stays green only while nothing in the library consults
+ambient entropy.  The codebase's contract (``repro.util.rng``) is that
+all randomness flows through an explicit ``numpy.random.Generator``
+created by ``make_rng``/``spawn_rngs``, and all timing through
+``time.perf_counter`` / ``repro.util.timers`` (monotonic, never used as
+a decision input).
+
+Flagged everywhere except the allowlisted plumbing modules:
+
+- ``import random`` / ``from random import ...`` (the stdlib global-state
+  generator) and calls through any alias of it;
+- calls to ``np.random.*`` / ``numpy.random.*`` (``default_rng``,
+  ``seed``, legacy samplers) — use :func:`repro.util.rng.make_rng`;
+- ``from numpy import random`` / ``from numpy.random import ...``;
+- wall-clock and entropy taps: ``time.time``, ``time.time_ns``,
+  ``datetime.now/utcnow/today``, ``os.urandom``, ``uuid.uuid1/uuid4``,
+  and any use of ``secrets``.
+
+``time.perf_counter`` and attribute references in annotations
+(``np.random.Generator``) are allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers._astutil import dotted_name
+from repro.analysis.core import Checker, FileContext, Finding, register_checker
+
+#: Modules allowed to touch raw RNG / clock primitives: the plumbing the
+#: rest of the library is required to go through.
+ALLOWED_MODULES = frozenset(
+    {
+        "repro/util/rng.py",
+        "repro/util/timers.py",
+    }
+)
+
+#: Banned call targets (dotted suffix match on the called name).
+BANNED_CALLS = {
+    "time.time": "use time.perf_counter (monotonic) or util.timers",
+    "time.time_ns": "use time.perf_counter_ns",
+    "datetime.now": "wall-clock state breaks trace determinism",
+    "datetime.utcnow": "wall-clock state breaks trace determinism",
+    "datetime.today": "wall-clock state breaks trace determinism",
+    "date.today": "wall-clock state breaks trace determinism",
+    "os.urandom": "unseeded entropy; derive from util.rng instead",
+    "uuid.uuid1": "host/time dependent; derive ids from the seed",
+    "uuid.uuid4": "unseeded entropy; derive ids from the seed",
+}
+
+#: Module imports banned outright.
+BANNED_IMPORTS = {
+    "random": "stdlib global-state RNG; use repro.util.rng.make_rng",
+    "secrets": "unseeded entropy source",
+}
+
+
+@register_checker
+class DeterminismChecker(Checker):
+    rule = "REP003"
+    title = "no ambient entropy/clock outside util.rng and util.timers"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.rel_path not in ALLOWED_MODULES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        random_aliases = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    why = BANNED_IMPORTS.get(alias.name)
+                    if why is not None:
+                        random_aliases.add(alias.asname or alias.name)
+                        yield self.finding(
+                            ctx, node, f"import of {alias.name!r}: {why}"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                why = BANNED_IMPORTS.get(mod)
+                if why is not None:
+                    yield self.finding(
+                        ctx, node, f"import from {mod!r}: {why}"
+                    )
+                elif mod in ("numpy", "numpy.random") and any(
+                    a.name == "random" or mod == "numpy.random"
+                    for a in node.names
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "importing numpy.random directly; route draws "
+                        "through repro.util.rng",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, random_aliases)
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, random_aliases: set[str]
+    ) -> Iterator[Finding]:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        for banned, why in BANNED_CALLS.items():
+            if dotted == banned or dotted.endswith("." + banned):
+                yield self.finding(ctx, node, f"call to {dotted}(): {why}")
+                return
+        parts = dotted.split(".")
+        if len(parts) >= 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+            yield self.finding(
+                ctx,
+                node,
+                f"direct call to {dotted}(); create generators with "
+                "repro.util.rng.make_rng/spawn_rngs so the stream is "
+                "seed-reproducible",
+            )
+        elif parts[0] in random_aliases and len(parts) >= 2:
+            yield self.finding(
+                ctx,
+                node,
+                f"call through stdlib random alias ({dotted}); use "
+                "repro.util.rng",
+            )

@@ -1,0 +1,90 @@
+"""REP004 — dtype discipline and observer-default discipline.
+
+Two invariants with the same failure mode (a silent default changing a
+numeric contract):
+
+1. **Explicit dtypes.**  Every state array in the solver is float64 by
+   contract (the fused/reference differential tests compare at 1e-12,
+   and halo/migration payload sizes are budgeted in float64 bytes).
+   ``np.zeros(shape)`` happens to default to float64 today, but the
+   intent is invisible and one refactor away from a dtype drift — so the
+   shape-only constructors (``zeros``/``ones``/``empty``/``full``) and
+   ``np.arange`` (whose dtype depends on its *arguments*) must spell it
+   out.  ``np.array``/``asarray`` (dtype inferred from data) and the
+   ``*_like`` family (dtype inherited) are exempt by design.
+
+2. **Observer defaults.**  Instrumented constructors take an
+   ``observer`` parameter.  Its default must be the shared
+   ``NULL_OBSERVER`` sentinel (resolved against ``REPRO_OBS_TRACE`` by
+   ``repro.obs.resolve_observer``), not ``None``: the null-object
+   contract is what lets hot paths guard on a plain ``.enabled``
+   attribute instead of a ``None`` check (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers._astutil import (
+    dotted_name,
+    has_kwarg,
+    is_numpy_call,
+)
+from repro.analysis.core import Checker, FileContext, Finding, register_checker
+
+#: Constructors whose dtype is an invisible default unless spelled out.
+DTYPE_REQUIRED = {"zeros", "ones", "empty", "full", "arange"}
+
+#: Name a default expression must resolve to for observer parameters.
+OBSERVER_DEFAULT = "NULL_OBSERVER"
+
+
+@register_checker
+class DtypeDisciplineChecker(Checker):
+    rule = "REP004"
+    title = "explicit dtype= on array constructors; observer defaults NULL_OBSERVER"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                ctor = is_numpy_call(node, DTYPE_REQUIRED)
+                if ctor is not None and not has_kwarg(node, "dtype"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{ctor}() without an explicit dtype=; the array's "
+                        "type is a silent default (state arrays are float64 "
+                        "by contract)",
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_observer_defaults(ctx, node)
+
+    def _check_observer_defaults(
+        self, ctx: FileContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        args = fn.args
+        positional = [*args.posonlyargs, *args.args]
+        pos_defaults = args.defaults
+        paired = list(
+            zip(positional[len(positional) - len(pos_defaults):], pos_defaults)
+        )
+        paired.extend(
+            (a, d)
+            for a, d in zip(args.kwonlyargs, args.kw_defaults)
+            if d is not None
+        )
+        for arg, default in paired:
+            if arg.arg != "observer":
+                continue
+            name = dotted_name(default)
+            terminal = name.rsplit(".", 1)[-1] if name else None
+            if terminal != OBSERVER_DEFAULT:
+                got = ast.unparse(default)
+                yield self.finding(
+                    ctx,
+                    default,
+                    f"parameter 'observer' of '{fn.name}' defaults to "
+                    f"{got!r}; default to NULL_OBSERVER so instrumented "
+                    "code never needs a None check",
+                )

@@ -1,0 +1,108 @@
+"""REP001 — no allocation inside ``@hot_path`` functions.
+
+The fused backend's contract (PR 1) is that the steady-state step loop
+performs **no full-grid allocation**: every kernel writes through the
+scratch pool preallocated in ``__init__``.  The tracemalloc test pins
+this at runtime for the paths it runs; this rule pins it for every line
+of every function carrying the :func:`repro.util.hotpath.hot_path`
+marker, which is how fused-backend hot paths are registered.
+
+Flagged inside a hot function (and its nested helpers):
+
+- allocating NumPy constructors/copies (``np.zeros``, ``np.empty``,
+  ``np.array``, ``np.concatenate``, ``np.where``, the ``*_like``
+  family, …);
+- NumPy ufunc/reduction calls **without** an ``out=`` argument
+  (``np.add(a, b)`` allocates; ``np.add(a, b, out=c)`` does not);
+- allocating array methods: ``.copy()``, ``.astype()``, ``.flatten()``,
+  ``.tolist()``.
+
+Views (``.reshape``, ``.view``, slicing) and in-place operators
+(``*=``, ``+=``) are the sanctioned idioms and pass.  Deliberate cold
+fallbacks (e.g. rebuilding a buffer after plane migration) must carry a
+reasoned suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers._astutil import (
+    chain_attrs,
+    decorator_names,
+    has_kwarg,
+    is_numpy_call,
+)
+from repro.analysis.core import Checker, FileContext, Finding, register_checker
+
+#: NumPy callables that always allocate a fresh array.
+ALLOC_CONSTRUCTORS = {
+    "zeros", "ones", "empty", "full",
+    "zeros_like", "ones_like", "empty_like", "full_like",
+    "array", "asarray", "asanyarray", "ascontiguousarray", "copy",
+    "arange", "linspace", "meshgrid", "indices",
+    "concatenate", "stack", "vstack", "hstack", "dstack", "column_stack",
+    "tile", "repeat", "pad", "where", "roll", "einsum", "outer", "kron",
+}
+
+#: NumPy ufuncs/reductions that allocate unless given ``out=``.
+OUT_REQUIRED = {
+    "add", "subtract", "multiply", "divide", "true_divide", "floor_divide",
+    "matmul", "dot", "maximum", "minimum", "clip", "abs", "absolute",
+    "negative", "exp", "log", "sqrt", "square", "power", "tanh", "cos",
+    "sin", "sum", "prod", "cumsum", "mean", "take",
+}
+
+#: ndarray methods that copy.
+ALLOC_METHODS = {"copy", "astype", "flatten", "tolist"}
+
+HOT_DECORATOR = "hot_path"
+
+
+@register_checker
+class HotPathAllocChecker(Checker):
+    rule = "REP001"
+    title = "no allocating numpy call inside an @hot_path function"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if HOT_DECORATOR not in decorator_names(fn):
+                continue
+            yield from self._check_hot_function(ctx, fn)
+
+    def _check_hot_function(
+        self, ctx: FileContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            ctor = is_numpy_call(node, ALLOC_CONSTRUCTORS)
+            if ctor is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"hot path '{fn.name}' calls allocating constructor "
+                    f"{ctor}(); preallocate scratch in __init__ instead",
+                )
+                continue
+            ufunc = is_numpy_call(node, OUT_REQUIRED)
+            if ufunc is not None and not has_kwarg(node, "out"):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"hot path '{fn.name}' calls {ufunc}() without out=; "
+                    "the result is a fresh full-grid temporary",
+                )
+                continue
+            attrs = chain_attrs(node.func)
+            if attrs and attrs[-1] in ALLOC_METHODS:
+                method = attrs[-1]
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"hot path '{fn.name}' calls .{method}(), which copies; "
+                    "use a view or a preallocated buffer",
+                )

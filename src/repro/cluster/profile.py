@@ -27,9 +27,9 @@ class NodeProfile:
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
-        self.computation = np.zeros(self.n_nodes)
-        self.communication = np.zeros(self.n_nodes)
-        self.remapping = np.zeros(self.n_nodes)
+        self.computation = np.zeros(self.n_nodes, dtype=np.float64)
+        self.communication = np.zeros(self.n_nodes, dtype=np.float64)
+        self.remapping = np.zeros(self.n_nodes, dtype=np.float64)
 
     def add_computation(self, node: int, seconds: float) -> None:
         self.computation[node] += seconds

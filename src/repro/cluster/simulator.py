@@ -29,7 +29,7 @@ from repro.cluster.trace import TraceCursor
 from repro.core.policies import NoRemappingPolicy, RemappingPolicy
 from repro.core.partition import SlicePartition
 from repro.core.remapper import Remapper
-from repro.obs.observer import resolve_observer
+from repro.obs.observer import NULL_OBSERVER, ObserverLike, resolve_observer
 from repro.util.validation import check_integer
 
 
@@ -85,7 +85,7 @@ class PhaseSimulator:
         policy: RemappingPolicy,
         *,
         record_timeline: bool = False,
-        observer=None,
+        observer: ObserverLike = NULL_OBSERVER,
     ):
         self.spec = spec
         self.policy = policy
@@ -97,7 +97,7 @@ class PhaseSimulator:
         )
         self.remapper = Remapper(self.partition, policy, observer=self.observer)
         self._cursors = [TraceCursor(t) for t in spec.traces]
-        self._times = np.zeros(spec.n_nodes)
+        self._times = np.zeros(spec.n_nodes, dtype=np.float64)
         self.profile = NodeProfile(spec.n_nodes)
         self.phases_run = 0
         self.record_timeline = record_timeline
@@ -117,7 +117,7 @@ class PhaseSimulator:
         done = np.array(ready, dtype=np.float64)
         if n == 1:
             return done
-        edge_done = np.empty(n - 1)
+        edge_done = np.empty(n - 1, dtype=np.float64)
         for e in range(n - 1):
             r = max(ready[e], ready[e + 1])
             cost = model.edge_cost(
@@ -197,7 +197,7 @@ class PhaseSimulator:
             cost = model.collective_cost(avails)
             for i in range(n):
                 self.profile.add_remapping(i, t_bar + cost - float(t[i]))
-            self._times = np.full(n, t_bar + cost)
+            self._times = np.full(n, t_bar + cost, dtype=np.float64)
             return
         ratios = self.partition.point_counts() / spec.average_points
         done = self._sync_neighbours(t, model.load_index_bytes, ratios)
@@ -294,7 +294,7 @@ def simulate(
     policy: RemappingPolicy,
     phases: int,
     *,
-    observer=None,
+    observer: ObserverLike = NULL_OBSERVER,
 ) -> SimulationResult:
     """One-shot convenience wrapper."""
     return PhaseSimulator(spec, policy, observer=observer).run(phases)

@@ -85,7 +85,7 @@ def fixed_slow_traces(
         elif jitter == 0.0:
             traces.append(AvailabilityTrace(tail=busy_availability))
         else:
-            child = np.random.default_rng(rng.integers(0, 2**63))
+            child = make_rng(int(rng.integers(0, 2**63)))
             traces.append(
                 AvailabilityTrace(
                     extender=jittered(child), tail=busy_availability

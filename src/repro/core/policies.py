@@ -248,8 +248,8 @@ class _LocalWindowPolicy(RemappingPolicy):
         n = partition.n_nodes
         threshold = self.config.threshold_for(partition)
 
-        give_right = np.zeros(n)
-        give_left = np.zeros(n)
+        give_right = np.zeros(n, dtype=np.float64)
+        give_left = np.zeros(n, dtype=np.float64)
         for i in range(n):
             lo = max(0, i - 1)
             hi = min(n - 1, i + 1)
@@ -383,7 +383,7 @@ class DiffusionPolicy(RemappingPolicy):
         n = partition.n_nodes
         threshold = self.config.threshold_for(partition)
 
-        point_flows = np.zeros(n - 1)
+        point_flows = np.zeros(n - 1, dtype=np.float64)
         for e in range(n - 1):
             i, j = e, e + 1
             # Pairwise balance target: n'_i/S_i = n'_j/S_j.

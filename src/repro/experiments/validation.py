@@ -31,7 +31,7 @@ def poiseuille_error(
     cfg = LBMConfig(
         geometry=geo,
         components=(comp,),
-        g_matrix=np.zeros((1, 1)),
+        g_matrix=np.zeros((1, 1), dtype=np.float64),
         lattice=D2Q9,
         body_acceleration=(accel, 0.0),
     )

@@ -87,10 +87,10 @@ def taylor_green_velocity(
     nx, ny = shape
     kx = 2.0 * np.pi / nx
     ky = 2.0 * np.pi / ny
-    x = np.arange(nx)[:, None]
-    y = np.arange(ny)[None, :]
+    x = np.arange(nx, dtype=np.float64)[:, None]
+    y = np.arange(ny, dtype=np.float64)[None, :]
     decay = np.exp(-viscosity * (kx**2 + ky**2) * t)
-    u = np.empty((2, nx, ny))
+    u = np.empty((2, nx, ny), dtype=np.float64)
     u[0] = u0 * np.cos(kx * x) * np.sin(ky * y) * decay
     u[1] = -u0 * (kx / ky) * np.sin(kx * x) * np.cos(ky * y) * decay
     return u

@@ -46,6 +46,7 @@ import numpy as np
 from repro.lbm.backends.registry import KernelBackend, register_backend
 from repro.lbm.boundary import bounce_back as _masked_bounce_back
 from repro.lbm.shan_chen import psi_identity
+from repro.util.hotpath import hot_path
 
 _FULL = slice(None)
 
@@ -216,9 +217,12 @@ class FusedBackend(KernelBackend):
         self._srho = np.empty(S, dtype=np.float64)
 
     # ------------------------------------------------------------ streaming
+    @hot_path
     def stream(self, f: np.ndarray) -> np.ndarray:
         buf = self._fbuf
         if buf.shape != f.shape or buf is f:
+            # repro: allow[REP001] -- cold fallback: the slab was resized by
+            # plane migration, so next step's double buffer must be rebuilt
             buf = np.empty_like(f)
         for k in self._rest:
             buf[:, k] = f[:, k]
@@ -230,6 +234,7 @@ class FusedBackend(KernelBackend):
         self._fbuf = f  # the old buffer becomes next step's target
         return buf
 
+    @hot_path
     def bounce_back(self, f: np.ndarray) -> None:
         if self._n_solid == 0:
             return
@@ -250,6 +255,7 @@ class FusedBackend(KernelBackend):
             f1[self._scatter_idx] = scratch
 
     # ---------------------------------------------------------- equilibrium
+    @hot_path
     def _feq_poly_into(self, u: np.ndarray, out: np.ndarray) -> np.ndarray:
         """Velocity polynomial of the equilibrium, row-unscaled:
         ``out_k <- s_k (s_k + gamma)`` with ``s = sqrt(1/(2 cs4)) c . u``,
@@ -272,6 +278,7 @@ class FusedBackend(KernelBackend):
         out *= cu
         return base
 
+    @hot_path
     def equilibrium(
         self, rho_n: np.ndarray, u: np.ndarray, out: np.ndarray | None = None
     ) -> np.ndarray:
@@ -284,6 +291,8 @@ class FusedBackend(KernelBackend):
                 f"u shape {u.shape} != {(self.lattice.D,) + self.shape}"
             )
         if out is None:
+            # repro: allow[REP001] -- out=None is the cold convenience form
+            # (diagnostics, tests); the step loop always passes a buffer
             out = np.empty((self.lattice.Q,) + self.shape, dtype=np.float64)
         base = self._feq_poly_into(u, out)
         n = self._nbuf
@@ -296,6 +305,7 @@ class FusedBackend(KernelBackend):
         return out
 
     # ------------------------------------------------------------ collision
+    @hot_path
     def collide_bgk(
         self,
         f: np.ndarray,
@@ -334,10 +344,13 @@ class FusedBackend(KernelBackend):
                 frow += row
 
     # ------------------------------------------------------------ Shan-Chen
+    @hot_path
     def shan_chen_force(
         self, psis: np.ndarray, out: np.ndarray | None = None
     ) -> np.ndarray:
         if out is None:
+            # repro: allow[REP001] -- out=None is the cold convenience form
+            # (diagnostics, tests); the step loop always passes a buffer
             out = np.empty(
                 (self.n_components, self.lattice.D) + self.shape,
                 dtype=np.float64,
@@ -377,6 +390,7 @@ class FusedBackend(KernelBackend):
         return out
 
     # -------------------------------------------------------------- moments
+    @hot_path
     def moments(
         self, f: np.ndarray, rho_out: np.ndarray, mom_out: np.ndarray
     ) -> None:
@@ -388,6 +402,7 @@ class FusedBackend(KernelBackend):
             rho_out[ci] *= self.masses[ci]
             mom_out[ci] *= self.masses[ci]
 
+    @hot_path
     def forces_and_velocities(
         self,
         rho: np.ndarray,

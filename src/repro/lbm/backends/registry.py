@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.lbm.lattice import Lattice
 from repro.lbm.shan_chen import validate_g_matrix
+from repro.obs.observer import NULL_OBSERVER, ObserverLike
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (solver imports us)
     from repro.lbm.solver import LBMConfig
@@ -92,7 +93,7 @@ def create_backend(
     config: "LBMConfig",
     shape: tuple[int, ...],
     solid_mask: np.ndarray,
-    observer=None,
+    observer: ObserverLike = NULL_OBSERVER,
 ) -> "KernelBackend":
     """Instantiate the backend the config selects, for a (local) grid.
 
@@ -109,11 +110,11 @@ def create_backend(
     solid_mask:
         Boolean solid-node field of that shape (bounce-back support).
     observer:
-        Optional :class:`repro.obs.Observer`.  When enabled, the backend
-        is wrapped in an :class:`~repro.lbm.backends.instrumented.
-        InstrumentedBackend` that times every kernel call; when ``None``
-        or disabled the raw backend is returned and the hot path is
-        untouched.
+        :class:`repro.obs.Observer` or the default
+        :data:`~repro.obs.NULL_OBSERVER`.  When enabled, the backend is
+        wrapped in an :class:`~repro.lbm.backends.instrumented.
+        InstrumentedBackend` that times every kernel call; when disabled
+        the raw backend is returned and the hot path is untouched.
     """
     backend = get_backend_class(getattr(config, "backend", None))(
         config, shape, solid_mask

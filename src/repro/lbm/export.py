@@ -67,12 +67,12 @@ def export_vtk(solver: MulticomponentLBM, path: str | Path) -> None:
 
     u = solver.velocity()
     if ndim == 2:
-        u3 = np.zeros((3,) + dims)
+        u3 = np.zeros((3,) + dims, dtype=np.float64)
         u3[0, :, :, 0] = u[0]
         u3[1, :, :, 0] = u[1]
         rho = solver.rho[..., None]
     else:
-        u3 = np.zeros((3,) + dims)
+        u3 = np.zeros((3,) + dims, dtype=np.float64)
         u3[:ndim] = u
         rho = solver.rho
 

@@ -30,7 +30,7 @@ def moment_matrix(lattice: Lattice) -> np.ndarray:
     cy = lattice.c[:, 1].astype(np.float64)
     c2 = cx**2 + cy**2
     rows = [
-        np.ones(9),                                # rho
+        np.ones(9, dtype=np.float64),              # rho
         -4.0 + 3.0 * c2,                           # e
         4.0 - 10.5 * c2 + 4.5 * c2**2,             # eps
         cx,                                        # j_x
@@ -49,7 +49,7 @@ def equilibrium_moments(rho: np.ndarray, u: np.ndarray) -> np.ndarray:
     jy = rho * u[1]
     safe_rho = np.maximum(rho, 1e-300)
     jsq = (jx**2 + jy**2) / safe_rho
-    out = np.empty((9,) + rho.shape)
+    out = np.empty((9,) + rho.shape, dtype=np.float64)
     out[0] = rho
     out[1] = -2.0 * rho + 3.0 * jsq
     out[2] = rho - 3.0 * jsq

@@ -87,7 +87,8 @@ def run_phase_separation(
         1.0 + noise * rng.standard_normal(config.geometry.shape)
     )
     solver.initialize_equilibrium(
-        rho[None], np.zeros((config.lattice.D,) + config.geometry.shape)
+        rho[None],
+        np.zeros((config.lattice.D,) + config.geometry.shape, dtype=np.float64),
     )
     solver.run(steps, check_interval=max(1, steps // 4))
     return solver
@@ -177,7 +178,7 @@ def run_droplet(
         ]
     )
     solver.initialize_equilibrium(
-        rhos, np.zeros((config.lattice.D,) + shape)
+        rhos, np.zeros((config.lattice.D,) + shape, dtype=np.float64)
     )
     solver.run(steps, check_interval=max(1, steps // 4))
     return solver

@@ -37,6 +37,7 @@ from repro.lbm.shan_chen import (
     psi_identity,
     validate_g_matrix,
 )
+from repro.obs.observer import NULL_OBSERVER, ObserverLike, resolve_observer
 
 
 @dataclass(frozen=True)
@@ -156,9 +157,9 @@ class MulticomponentLBM:
     - ``u_eq``:   per-component equilibrium velocities, ``(C, D, *S)``
     """
 
-    def __init__(self, config: LBMConfig, observer=None):
-        from repro.obs.observer import resolve_observer
-
+    def __init__(
+        self, config: LBMConfig, observer: ObserverLike = NULL_OBSERVER
+    ):
         self.config = config
         #: Observability handle (:data:`repro.obs.NULL_OBSERVER` unless a
         #: real observer is passed or ``REPRO_OBS_TRACE`` is set); a
@@ -333,7 +334,7 @@ class MulticomponentLBM:
         self.f = f = self.backend.stream(self.f)
         if self.track_wall_momentum:
             # Momentum exchange reads the post-stream, pre-bounce state.
-            wall_momentum = np.zeros(lat.D)
+            wall_momentum = np.zeros(lat.D, dtype=np.float64)
             for ci, comp in enumerate(self.config.components):
                 wall_momentum += comp.mass * momentum_exchange(
                     f[ci], self.solid, lat

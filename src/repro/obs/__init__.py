@@ -19,6 +19,7 @@ from repro.obs.metrics import (
 from repro.obs.observer import (
     NULL_OBSERVER,
     Observer,
+    ObserverLike,
     NullObserver,
     Span,
     TRACE_ENV_VAR,
@@ -40,6 +41,7 @@ __all__ = [
     "EventSink",
     "JsonlSink",
     "MemorySink",
+    "ObserverLike",
     "observer_from_env",
     "read_trace",
     "resolve_observer",

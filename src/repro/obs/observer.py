@@ -206,8 +206,22 @@ def observer_from_env(environ=os.environ) -> Observer | NullObserver:
     return obs
 
 
+#: Union accepted everywhere an observer parameter appears.
+ObserverLike = Observer | NullObserver
+
+
 def resolve_observer(
-    observer: "Observer | NullObserver | None",
+    observer: "Observer | NullObserver | None" = NULL_OBSERVER,
 ) -> "Observer | NullObserver":
-    """``None`` -> the environment default; anything else passes through."""
-    return observer_from_env() if observer is None else observer
+    """Resolve an observer parameter to a concrete handle.
+
+    The shared :data:`NULL_OBSERVER` sentinel (the parameter default
+    everywhere, enforced by the REP004 static rule) and ``None`` both
+    mean "unspecified" and resolve against ``REPRO_OBS_TRACE``; any
+    other observer — including a *fresh* ``NullObserver()``, which
+    force-disables tracing even when the environment requests it —
+    passes through unchanged.
+    """
+    if observer is None or observer is NULL_OBSERVER:
+        return observer_from_env()
+    return observer

@@ -36,7 +36,12 @@ from repro.lbm.equilibrium import equilibrium
 from repro.lbm.forces import body_force_field, wall_force_field
 from repro.lbm.geometry import ChannelGeometry
 from repro.lbm.solver import LBMConfig
-from repro.obs.observer import Observer, resolve_observer
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    Observer,
+    ObserverLike,
+    resolve_observer,
+)
 from repro.obs.sink import JsonlSink
 from repro.parallel.api import Communicator
 from repro.parallel.decomposition import SlabDecomposition
@@ -75,7 +80,7 @@ class ParallelLBM:
         policy: str = "filtered",
         remap_config: RemappingConfig | None = None,
         load_time_fn: LoadTimeFn | None = None,
-        observer=None,
+        observer: ObserverLike = NULL_OBSERVER,
     ):
         if len(initial_counts) != comm.size:
             raise ValueError(
@@ -116,7 +121,9 @@ class ParallelLBM:
         self._solid_pattern = thin_geo.solid_mask()  # (1, *cross)
         self._fluid_pattern = ~self._solid_pattern
         n_comp = config.n_components
-        self._accel = np.zeros((n_comp, lat.D, 1, *self.cross))
+        self._accel = np.zeros(
+            (n_comp, lat.D, 1, *self.cross), dtype=np.float64
+        )
         if config.wall_force is not None:
             target = config.component_index(config.wall_force.component)
             self._accel[target] += wall_force_field(thin_geo, config.wall_force)
@@ -128,8 +135,8 @@ class ParallelLBM:
         self.taus = np.array([c.tau for c in config.components])
         ln = self.decomp.planes(comm.rank)
         shape = (ln + 2, *self.cross)
-        self.f = np.zeros((n_comp, lat.Q, *shape))
-        zero_u = np.zeros((lat.D, *shape))
+        self.f = np.zeros((n_comp, lat.Q, *shape), dtype=np.float64)
+        zero_u = np.zeros((lat.D, *shape), dtype=np.float64)
         fluid3 = np.broadcast_to(self._fluid_pattern, shape)
         for ci, comp in enumerate(config.components):
             rho0 = np.where(fluid3, comp.rho_init / comp.mass, 0.0)
@@ -156,8 +163,8 @@ class ParallelLBM:
         lat = self.config.lattice
         n_comp = self.config.n_components
         shape = self.f.shape[2:]
-        self.rho = np.zeros((n_comp, *shape))
-        self.mom = np.zeros((n_comp, lat.D, *shape))
+        self.rho = np.zeros((n_comp, *shape), dtype=np.float64)
+        self.mom = np.zeros((n_comp, lat.D, *shape), dtype=np.float64)
         self.force = np.zeros_like(self.mom)
         self.u_eq = np.zeros_like(self.mom)
         # Interior-only collide mask (ghosts excluded); psi keeps the
@@ -585,7 +592,7 @@ def run_parallel_lbm(
     load_time_fn: LoadTimeFn | None = None,
     initial_counts: list[int] | None = None,
     timeout: float = 600.0,
-    observer=None,
+    observer: ObserverLike = NULL_OBSERVER,
     trace_path: str | None = None,
 ) -> list[ParallelRunResult]:
     """Run the parallel LBM on an in-process cluster of *n_ranks* threads.
@@ -609,7 +616,7 @@ def run_parallel_lbm(
 
     owns_observer = False
     if trace_path is not None:
-        if observer is not None:
+        if observer is not None and observer is not NULL_OBSERVER:
             raise ValueError("pass either observer or trace_path, not both")
         observer = Observer(sink=JsonlSink(trace_path))
         owns_observer = True

@@ -123,8 +123,12 @@ class LocalCluster:
             comm = self.communicator(rank)
             args = rank_args[rank] if rank_args is not None else ()
             try:
+                # repro: allow[REP002] -- each rank owns exactly slot [rank];
+                # disjoint list-cell stores are race-free, read after join()
                 results[rank] = fn(comm, *args)
             except BaseException as exc:  # propagate to the caller
+                # repro: allow[REP002] -- list.append is atomic under the
+                # GIL and the single consumer reads only after join()
                 errors.append((rank, exc))
 
         threads = [

@@ -1,0 +1,33 @@
+"""Fixtures for the static-analysis suite: write a snippet into a tmp
+tree laid out like ``src/`` and run the checkers over it."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Report, run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_ROOT = REPO_ROOT / "src"
+
+
+@pytest.fixture
+def analyze(tmp_path):
+    """``analyze(source, rel=..., rules=...) -> Report`` over a one-file
+    tree.  *rel* matters: path-scoped rules (REP002, REP003's allowlist)
+    key off the path relative to the scan root."""
+
+    def _analyze(
+        source: str,
+        rel: str = "repro/mod.py",
+        rules: list[str] | None = None,
+    ) -> Report:
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return run_analysis(tmp_path, rules)
+
+    return _analyze

@@ -1,0 +1,7 @@
+"""Golden fixture: a file with no findings at all."""
+
+import numpy as np
+
+
+def tidy():
+    return np.zeros(3, dtype=np.float64)

@@ -1,0 +1,11 @@
+"""Golden fixture: one open finding per rule family, one suppressed."""
+
+import time
+
+import numpy as np
+
+
+def fresh():
+    a = np.zeros(3)
+    b = np.empty(4)  # repro: allow[REP004] -- golden fixture: suppressed finding
+    return a, b, time.time()

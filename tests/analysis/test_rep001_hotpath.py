@@ -1,0 +1,123 @@
+"""REP001: allocation lint over ``@hot_path`` functions."""
+
+from __future__ import annotations
+
+FAIL_FIXTURE = """\
+import numpy as np
+
+from repro.util.hotpath import hot_path
+
+
+@hot_path
+def step(f, out):
+    buf = np.zeros_like(f)      # seeded allocation: constructor
+    np.add(f, f)                # seeded allocation: ufunc without out=
+    g = f.copy()                # seeded allocation: copying method
+    return buf, g
+"""
+
+PASS_FIXTURE = """\
+import numpy as np
+
+from repro.util.hotpath import hot_path
+
+
+@hot_path
+def step(f, out, scratch):
+    np.add(f, f, out=out)
+    np.multiply(out, 0.5, out=scratch)
+    v = f.reshape(f.shape[0], -1)
+    f += scratch
+    return v
+"""
+
+
+def _rep001(report):
+    return [f for f in report.unsuppressed if f.rule == "REP001"]
+
+
+def test_seeded_allocations_in_hot_path_are_flagged(analyze):
+    findings = _rep001(analyze(FAIL_FIXTURE, rules=["REP001"]))
+    assert len(findings) == 3
+    messages = " ".join(f.message for f in findings)
+    assert "zeros_like" in messages
+    assert "without out=" in messages
+    assert ".copy()" in messages
+    assert all("'step'" in f.message for f in findings)
+
+
+def test_out_parameterized_hot_path_is_clean(analyze):
+    assert _rep001(analyze(PASS_FIXTURE, rules=["REP001"])) == []
+
+
+def test_cold_functions_may_allocate(analyze):
+    report = analyze(
+        """\
+        import numpy as np
+
+        def setup(shape):
+            return np.zeros(shape), np.empty(shape)
+        """,
+        rules=["REP001"],
+    )
+    assert _rep001(report) == []
+
+
+def test_nested_helper_inside_hot_path_is_covered(analyze):
+    report = analyze(
+        """\
+        import numpy as np
+
+        from repro.util.hotpath import hot_path
+
+
+        @hot_path
+        def outer(f):
+            def helper():
+                return np.empty_like(f)
+            return helper()
+        """,
+        rules=["REP001"],
+    )
+    (finding,) = _rep001(report)
+    assert "empty_like" in finding.message
+
+
+def test_hot_path_method_in_class_is_covered(analyze):
+    report = analyze(
+        """\
+        import numpy as np
+
+        from repro.util.hotpath import hot_path
+
+
+        class Backend:
+            @hot_path
+            def collide(self, f):
+                return np.where(f > 0, f, 0.0)
+        """,
+        rules=["REP001"],
+    )
+    (finding,) = _rep001(report)
+    assert "where" in finding.message
+
+
+def test_reasoned_suppression_marks_cold_fallback(analyze):
+    report = analyze(
+        """\
+        import numpy as np
+
+        from repro.util.hotpath import hot_path
+
+
+        @hot_path
+        def stream(f):
+            # repro: allow[REP001] -- cold fallback: buffer rebuilt after migration
+            buf = np.empty_like(f)
+            return buf
+        """,
+        rules=["REP001"],
+    )
+    assert report.unsuppressed == []
+    (finding,) = report.suppressed
+    assert finding.rule == "REP001"

@@ -1,0 +1,136 @@
+"""REP003: determinism lint (ambient entropy and wall clocks)."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.checkers.determinism import ALLOWED_MODULES
+
+from .conftest import SRC_ROOT
+
+
+def _rep003(report):
+    return [f for f in report.unsuppressed if f.rule == "REP003"]
+
+
+def test_banned_entropy_and_clock_calls_are_flagged(analyze):
+    report = analyze(
+        """\
+        import time
+        import numpy as np
+
+        def sample():
+            t = time.time()
+            rng = np.random.default_rng(0)
+            return t, rng
+        """,
+        rules=["REP003"],
+    )
+    messages = [f.message for f in _rep003(report)]
+    assert len(messages) == 2
+    assert any("time.time" in m for m in messages)
+    assert any("np.random.default_rng" in m for m in messages)
+
+
+def test_stdlib_random_import_and_alias_calls_are_flagged(analyze):
+    report = analyze(
+        """\
+        import random as rnd
+
+        def roll():
+            return rnd.randint(1, 6)
+        """,
+        rules=["REP003"],
+    )
+    messages = [f.message for f in _rep003(report)]
+    assert len(messages) == 2  # the import and the call through the alias
+    assert any("import of 'random'" in m for m in messages)
+    assert any("rnd.randint" in m for m in messages)
+
+
+def test_from_numpy_random_import_is_flagged(analyze):
+    report = analyze(
+        "from numpy.random import default_rng\n",
+        rules=["REP003"],
+    )
+    assert len(_rep003(report)) == 1
+
+
+def test_perf_counter_and_annotations_pass(analyze):
+    report = analyze(
+        """\
+        import time
+        import numpy as np
+
+        from repro.util.rng import make_rng
+
+
+        def timed(rng: np.random.Generator) -> float:
+            t0 = time.perf_counter()
+            child = make_rng(int(rng.integers(0, 2**31)))
+            child.normal()
+            return time.perf_counter() - t0
+        """,
+        rules=["REP003"],
+    )
+    assert _rep003(report) == []
+
+
+def test_allowlisted_plumbing_module_may_use_raw_rng(analyze):
+    report = analyze(
+        """\
+        import numpy as np
+
+        def make_rng(seed):
+            return np.random.default_rng(seed)
+        """,
+        rel="repro/util/rng.py",
+        rules=["REP003"],
+    )
+    assert _rep003(report) == []
+
+
+# ------------------------------------------- allowlist vs. the real tree
+def _np_random_users(root: Path) -> set[str]:
+    """rel paths of src modules that touch ``np.random.*`` directly."""
+    users = set()
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            text = ast.unparse(node.func)
+            if text.startswith(("np.random.", "numpy.random.")):
+                users.add(path.relative_to(root).as_posix())
+    return users
+
+
+def test_allowlist_matches_actual_raw_rng_users():
+    """The modules calling ``np.random.*`` directly must be exactly the
+    REP003 allowlist: everything else imports ``repro.util.rng``."""
+    users = _np_random_users(SRC_ROOT)
+    rng_users = {p for p in users if "rng" in p}
+    assert rng_users == {"repro/util/rng.py"}
+    assert users <= set(ALLOWED_MODULES), (
+        f"modules using raw np.random outside the allowlist: "
+        f"{sorted(users - set(ALLOWED_MODULES))}"
+    )
+
+
+def test_allowlisted_modules_exist_and_are_plumbing():
+    for rel in ALLOWED_MODULES:
+        path = SRC_ROOT / rel
+        assert path.is_file(), f"stale allowlist entry: {rel}"
+        assert rel.startswith("repro/util/"), (
+            "only util plumbing may hold raw entropy/clock access"
+        )
+
+
+def test_no_rep003_suppressions_in_src():
+    """The allowlist — not inline pragmas — is the single source of truth
+    for who may touch raw entropy."""
+    from repro.analysis import run_analysis
+
+    report = run_analysis(SRC_ROOT)
+    assert [f for f in report.suppressed if f.rule == "REP003"] == []

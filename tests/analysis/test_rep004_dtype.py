@@ -1,0 +1,105 @@
+"""REP004: dtype discipline + observer-default discipline."""
+
+from __future__ import annotations
+
+
+def _rep004(report):
+    return [f for f in report.unsuppressed if f.rule == "REP004"]
+
+
+def test_shape_only_constructors_require_dtype(analyze):
+    report = analyze(
+        """\
+        import numpy as np
+
+        a = np.zeros((3, 4))
+        b = np.arange(10)
+        c = np.empty(5)
+        """,
+        rules=["REP004"],
+    )
+    assert len(_rep004(report)) == 3
+
+
+def test_explicit_dtype_passes(analyze):
+    report = analyze(
+        """\
+        import numpy as np
+
+        a = np.zeros((3, 4), dtype=np.float64)
+        b = np.arange(10, dtype=np.int64)
+        c = np.full(5, 1.0, dtype=np.float64)
+        """,
+        rules=["REP004"],
+    )
+    assert _rep004(report) == []
+
+
+def test_inference_and_like_constructors_are_exempt(analyze):
+    report = analyze(
+        """\
+        import numpy as np
+
+        a = np.array([1.0, 2.0])
+        b = np.asarray(a)
+        c = np.zeros_like(a)
+        d = np.empty_like(a)
+        """,
+        rules=["REP004"],
+    )
+    assert _rep004(report) == []
+
+
+def test_observer_default_none_is_flagged(analyze):
+    report = analyze(
+        """\
+        def run(steps, observer=None):
+            return steps
+        """,
+        rules=["REP004"],
+    )
+    (finding,) = _rep004(report)
+    assert "'observer'" in finding.message
+    assert "NULL_OBSERVER" in finding.message
+
+
+def test_observer_default_null_observer_passes(analyze):
+    report = analyze(
+        """\
+        from repro.obs.observer import NULL_OBSERVER
+        from repro.obs import observer as obs
+
+
+        def run(steps, observer=NULL_OBSERVER):
+            return steps
+
+
+        def run_qualified(steps, *, observer=obs.NULL_OBSERVER):
+            return steps
+        """,
+        rules=["REP004"],
+    )
+    assert _rep004(report) == []
+
+
+def test_keyword_only_observer_default_is_checked(analyze):
+    report = analyze(
+        """\
+        class Solver:
+            def __init__(self, config, *, observer=None):
+                self.config = config
+        """,
+        rules=["REP004"],
+    )
+    assert len(_rep004(report)) == 1
+
+
+def test_non_observer_parameters_are_ignored(analyze):
+    report = analyze(
+        """\
+        def run(steps, callback=None, watcher=None):
+            return steps
+        """,
+        rules=["REP004"],
+    )
+    assert _rep004(report) == []

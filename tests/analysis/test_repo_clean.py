@@ -1,0 +1,50 @@
+"""The committed tree must satisfy its own invariants.
+
+This is the static twin of the runtime pins: the tracemalloc test pins
+zero-allocation on the paths it runs, the golden-run test pins
+determinism for the traces it records — these assertions pin both
+invariants for every line of ``src/``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_analysis
+from repro.util.hotpath import HOT_PATH_REGISTRY
+
+from .conftest import SRC_ROOT
+
+
+def test_src_tree_has_no_unsuppressed_findings():
+    report = run_analysis(SRC_ROOT)
+    assert report.files_scanned > 50
+    offenders = "\n".join(f.format() for f in report.unsuppressed)
+    assert report.unsuppressed == [], f"fix or suppress-with-reason:\n{offenders}"
+
+
+def test_every_suppression_in_src_carries_a_reason():
+    report = run_analysis(SRC_ROOT)
+    assert report.suppressed, "the fused cold fallbacks should be suppressed"
+    for finding in report.suppressed:
+        assert finding.suppress_reason, finding.format()
+        assert len(finding.suppress_reason) > 10, (
+            f"reason too thin to justify an exception: {finding.format()}"
+        )
+
+
+def test_fused_backend_kernels_are_registered_hot_paths():
+    import repro.lbm.backends.fused  # noqa: F401 - registration side effect
+
+    hot = {
+        name.rsplit(".", 1)[-1]
+        for name in HOT_PATH_REGISTRY
+        if name.startswith("repro.lbm.backends.fused.")
+    }
+    assert {
+        "stream",
+        "bounce_back",
+        "equilibrium",
+        "collide_bgk",
+        "shan_chen_force",
+        "moments",
+        "forces_and_velocities",
+    } <= hot
