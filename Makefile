@@ -1,5 +1,5 @@
 .PHONY: install test lint bench bench-kernels experiments experiments-fast \
-    trace-demo clean
+    trace-demo ckpt-demo clean
 
 install:
 	pip install -e '.[test]'
@@ -31,7 +31,14 @@ trace-demo:
 	python examples/traced_parallel_run.py --trace run.jsonl
 	python -m repro.obs.report summary run.jsonl
 
+# Kill a checkpointed parallel run mid-flight, corrupt a shard, resume
+# bit-exact; then inspect + verify the store through the CLI.
+ckpt-demo:
+	python examples/checkpoint_demo.py --store ckpt-demo
+	python -m repro.ckpt inspect ckpt-demo
+	python -m repro.ckpt verify ckpt-demo
+
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis \
-	    benchmarks/reports .benchmarks
+	    benchmarks/reports .benchmarks ckpt-demo
 	find . -name __pycache__ -type d -exec rm -rf {} +

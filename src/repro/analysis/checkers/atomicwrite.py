@@ -1,0 +1,150 @@
+"""REP005 — file writes must go through the atomic-write helpers.
+
+A torn write is how a checkpoint (or an exported result) turns into a
+file that parses halfway: the process died, the power went, the disk
+filled — and the bytes on disk are a prefix of what was meant.
+:mod:`repro.ckpt.io` provides the discipline (tempfile in the
+destination directory + flush + fsync + ``os.replace`` + directory
+fsync), and this rule makes it the only way the library puts bytes on
+disk.
+
+Flagged everywhere except the allowlisted modules:
+
+- ``open(...)`` / ``*.open(...)`` with a literal write-capable mode —
+  any mode containing ``w``, ``a``, ``x`` or ``+`` (so ``"r+b"`` in-place
+  edits count too);
+- ``*.write_text(...)`` / ``*.write_bytes(...)`` (``pathlib`` one-shots);
+- ``np.save`` / ``np.savez`` / ``np.savez_compressed`` and ``*.tofile``
+  (numpy writers that open the path themselves).
+
+Read-mode opens and writes to already-open handles are not flagged —
+the rule polices who *creates* the file, not who fills it.  Allowlisted:
+``repro/ckpt/io.py`` (the helpers themselves) and ``repro/obs/sink.py``
+(a streaming JSONL sink appends events as they happen; there is no
+final rename point for an unbounded stream, and a truncated trace tail
+is recoverable by design).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers._astutil import dotted_name
+from repro.analysis.core import Checker, FileContext, Finding, register_checker
+
+#: Modules allowed to call raw file-writing primitives.
+ALLOWED_MODULES = frozenset(
+    {
+        "repro/ckpt/io.py",
+        "repro/obs/sink.py",
+    }
+)
+
+#: Dotted-suffix method names that write a file they open themselves.
+BANNED_METHOD_SUFFIXES = {
+    "write_text": "use repro.ckpt.io.atomic_write_text",
+    "write_bytes": "use repro.ckpt.io.atomic_write_bytes",
+    "tofile": "use repro.ckpt.io.atomic_open and array.tofile(handle)",
+}
+
+#: numpy module-level writers.
+BANNED_NUMPY_CALLS = {
+    "save": "use repro.ckpt.io.atomic_savez",
+    "savez": "use repro.ckpt.io.atomic_savez",
+    "savez_compressed": "use repro.ckpt.io.atomic_savez",
+}
+
+_WRITE_MODE_CHARS = set("wax+")
+
+
+def _literal_mode(node: ast.Call, mode_pos: int) -> str | None:
+    """The call's ``mode`` argument if it is a string literal: positional
+    index *mode_pos* (1 for builtin ``open(file, mode)``, 0 for
+    ``Path.open(mode)``) or the ``mode=`` keyword."""
+    candidates: list[ast.expr] = []
+    if len(node.args) > mode_pos:
+        candidates.append(node.args[mode_pos])
+    candidates.extend(
+        kw.value for kw in node.keywords if kw.arg == "mode"
+    )
+    for expr in candidates:
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return expr.value
+    return None
+
+
+def _is_write_mode(mode: str) -> bool:
+    return bool(_WRITE_MODE_CHARS.intersection(mode))
+
+
+@register_checker
+class AtomicWriteChecker(Checker):
+    rule = "REP005"
+    title = "file writes go through repro.ckpt.io atomic helpers"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.rel_path not in ALLOWED_MODULES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        func = node.func
+        dotted = dotted_name(func)
+        if isinstance(func, ast.Attribute):
+            # Method call on any expression — `Path(p).open(...)` and
+            # `arr.tofile(...)` have no plain dotted chain, only a tail.
+            tail = func.attr
+            is_method = True
+            display = dotted or f"<expr>.{tail}"
+        elif isinstance(func, ast.Name):
+            tail = func.id
+            is_method = False
+            display = tail
+        else:
+            return
+
+        if tail == "open":
+            # Builtin open() and every .open() method (pathlib mirrors the
+            # builtin's signature); atomic_open never collides — the rule
+            # only fires on literal write modes and atomic_open's second
+            # positional IS its mode.
+            if display.endswith("atomic_open"):
+                return
+            mode = _literal_mode(node, 0 if is_method else 1)
+            if mode is not None and _is_write_mode(mode):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{display}(..., {mode!r}) writes in place; a crash "
+                    "mid-write leaves a torn file — use "
+                    "repro.ckpt.io.atomic_open (tempfile + fsync + rename)",
+                )
+            return
+
+        if is_method:
+            why = BANNED_METHOD_SUFFIXES.get(tail)
+            if why is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call to {display}() writes in place: {why}",
+                )
+                return
+
+        why = BANNED_NUMPY_CALLS.get(tail)
+        if (
+            why is not None
+            and dotted is not None
+            and dotted.split(".")[0] in ("np", "numpy")
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"call to {dotted}() writes in place: {why}",
+            )

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.ckpt ...``."""
+
+import sys
+
+from repro.ckpt.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Atomic, checksummed file writes — the only sanctioned way to persist
+state from inside ``repro``.
+
+Every helper follows the same discipline: write the full payload to a
+temporary file **in the destination directory**, flush and ``fsync`` it,
+then ``os.replace`` it over the destination and fsync the directory.  A
+crash at any instant leaves either the complete old file or the complete
+new file — never a truncated hybrid — which is what lets the checkpoint
+store treat "manifest present and parseable" as its commit point.
+
+The REP005 static rule (:mod:`repro.analysis.checkers.atomicwrite`)
+enforces that persistent writes elsewhere in the library route through
+this module; streaming sinks (``repro.obs.sink``) are the one exemption.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+#: Chunk size for streaming checksums (1 MiB).
+_CHUNK = 1 << 20
+
+
+def fsync_directory(path: Path) -> None:
+    """Flush directory metadata so a completed rename survives a crash
+    (best-effort: some filesystems refuse to open directories)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform dependent
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+@contextlib.contextmanager
+def atomic_open(
+    path: str | Path, mode: str = "w", **open_kwargs: Any
+) -> Iterator[Any]:
+    """Context manager yielding a handle onto a same-directory temporary
+    file; on clean exit the temp file is fsynced and renamed over *path*,
+    on exception it is removed and *path* is untouched.
+
+    *mode* must be a write mode (``"w"``, ``"wb"``); append modes make no
+    sense for whole-file replacement.
+    """
+    if not any(ch in mode for ch in "wx"):
+        raise ValueError(f"atomic_open needs a write mode, got {mode!r}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, mode, **open_kwargs) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        fsync_directory(path.parent)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            tmp.unlink()
+        raise
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> int:
+    """Atomically replace *path* with *data*; returns the byte count."""
+    with atomic_open(path, "wb") as fh:
+        fh.write(data)
+    return len(data)
+
+
+def atomic_write_text(
+    path: str | Path, text: str, encoding: str = "utf-8"
+) -> int:
+    """Atomically replace *path* with *text* (encoded)."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path: str | Path, obj: Any) -> int:
+    """Atomically replace *path* with *obj* serialized as sorted-key,
+    indented JSON (the manifest format)."""
+    return atomic_write_text(
+        path, json.dumps(obj, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def atomic_savez(path: str | Path, **arrays: np.ndarray) -> int:
+    """Atomically replace *path* with a compressed ``.npz`` holding
+    *arrays*; returns the final file size in bytes.
+
+    The archive is written through a file handle, so numpy performs no
+    suffix games on the temporary name.
+    """
+    path = Path(path)
+    with atomic_open(path, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+    return path.stat().st_size
+
+
+def sha256_file(path: str | Path) -> str:
+    """Streaming SHA-256 of a file's contents (hex digest)."""
+    digest = hashlib.sha256()
+    with open(Path(path), "rb") as fh:
+        while True:
+            chunk = fh.read(_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def sha256_bytes(data: bytes) -> str:
+    """SHA-256 of a byte string (hex digest)."""
+    return hashlib.sha256(data).hexdigest()

@@ -1,0 +1,93 @@
+"""Environment-driven checkpoint policy.
+
+Mirrors the observability layer's ``REPRO_OBS_TRACE`` discovery: the
+experiments runner (or any entry point) sets a handful of environment
+variables and every solver run in the process checkpoints itself — no
+per-experiment plumbing.
+
+Variables
+---------
+``REPRO_CKPT_DIR``
+    Root directory of the checkpoint store (unset = checkpointing off).
+``REPRO_CKPT_EVERY``
+    Checkpoint interval in steps/phases (default 0 = only explicit
+    saves).
+``REPRO_CKPT_RESUME``
+    Truthy (``1``/``true``/``yes``/``on``): runs look for the latest
+    good generation matching their configuration and continue from it.
+``REPRO_CKPT_KEEP``
+    Retention window (``keep_last``, default 3).
+
+Because one process may run many differently-configured solvers, each
+configuration gets its own store subdirectory keyed by a fingerprint
+hash — a resumed experiment finds exactly its own checkpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.ckpt.io import sha256_bytes
+from repro.ckpt.manifest import config_fingerprint
+from repro.ckpt.store import CheckpointStore
+from repro.obs.observer import NULL_OBSERVER, ObserverLike
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lbm.solver import LBMConfig
+
+ENV_DIR = "REPRO_CKPT_DIR"
+ENV_EVERY = "REPRO_CKPT_EVERY"
+ENV_RESUME = "REPRO_CKPT_RESUME"
+ENV_KEEP = "REPRO_CKPT_KEEP"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def fingerprint_key(config: "LBMConfig") -> str:
+    """Short stable hash of a configuration fingerprint — the per-config
+    store subdirectory name."""
+    doc = json.dumps(config_fingerprint(config), sort_keys=True)
+    return sha256_bytes(doc.encode())[:12]
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """How (and whether) a run checkpoints itself."""
+
+    root: Path
+    every: int = 0
+    resume: bool = False
+    keep_last: int = 3
+    keep_every: int = 0
+
+    def store_for(
+        self,
+        config: "LBMConfig",
+        *,
+        observer: ObserverLike = NULL_OBSERVER,
+    ) -> CheckpointStore:
+        """The per-configuration store under this policy's root."""
+        return CheckpointStore(
+            self.root / fingerprint_key(config),
+            keep_last=self.keep_last,
+            keep_every=self.keep_every,
+            observer=observer,
+        )
+
+
+def policy_from_env(environ=os.environ) -> CheckpointPolicy | None:
+    """The process-default policy, or ``None`` when ``REPRO_CKPT_DIR``
+    is unset/empty."""
+    path = str(environ.get(ENV_DIR, "")).strip()
+    if not path:
+        return None
+    every = int(str(environ.get(ENV_EVERY, "0")).strip() or 0)
+    resume = str(environ.get(ENV_RESUME, "")).strip().lower() in _TRUTHY
+    keep_last = int(str(environ.get(ENV_KEEP, "3")).strip() or 3)
+    return CheckpointPolicy(
+        root=Path(path), every=every, resume=resume, keep_last=keep_last
+    )

@@ -11,18 +11,21 @@ from repro.util.tables import format_table
 
 @dataclass
 class NodeProfile:
-    """Computation / communication / remapping seconds per node.
+    """Computation / communication / remapping / checkpoint seconds per node.
 
     "Communication" follows MPI-profiler semantics: it includes the time a
     node spends *waiting* at a synchronization for a neighbour plus the
     transfer itself — that is what makes the slow node's neighbours show
     huge communication bars in the paper's no-remapping profile.
+    "Checkpoint" is the same for periodic snapshots: the barrier wait plus
+    the node's own write cost (see :mod:`repro.ckpt`).
     """
 
     n_nodes: int
     computation: np.ndarray = field(init=False)
     communication: np.ndarray = field(init=False)
     remapping: np.ndarray = field(init=False)
+    checkpoint: np.ndarray = field(init=False)
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -30,6 +33,7 @@ class NodeProfile:
         self.computation = np.zeros(self.n_nodes, dtype=np.float64)
         self.communication = np.zeros(self.n_nodes, dtype=np.float64)
         self.remapping = np.zeros(self.n_nodes, dtype=np.float64)
+        self.checkpoint = np.zeros(self.n_nodes, dtype=np.float64)
 
     def add_computation(self, node: int, seconds: float) -> None:
         self.computation[node] += seconds
@@ -40,15 +44,24 @@ class NodeProfile:
     def add_remapping(self, node: int, seconds: float) -> None:
         self.remapping[node] += seconds
 
+    def add_checkpoint(self, node: int, seconds: float) -> None:
+        self.checkpoint[node] += seconds
+
     def total(self, node: int) -> float:
         return float(
             self.computation[node]
             + self.communication[node]
             + self.remapping[node]
+            + self.checkpoint[node]
         )
 
     def totals(self) -> np.ndarray:
-        return self.computation + self.communication + self.remapping
+        return (
+            self.computation
+            + self.communication
+            + self.remapping
+            + self.checkpoint
+        )
 
     def to_table(self, *, title: str | None = None) -> str:
         """Render the Figure 9-style breakdown as an ASCII table."""
@@ -58,12 +71,13 @@ class NodeProfile:
                 float(self.computation[i]),
                 float(self.communication[i]),
                 float(self.remapping[i]),
+                float(self.checkpoint[i]),
                 self.total(i),
             )
             for i in range(self.n_nodes)
         ]
         return format_table(
-            ["node", "comp (s)", "comm (s)", "remap (s)", "total (s)"],
+            ["node", "comp (s)", "comm (s)", "remap (s)", "ckpt (s)", "total (s)"],
             rows,
             title=title,
             float_fmt="{:.1f}",

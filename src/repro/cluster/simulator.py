@@ -86,9 +86,22 @@ class PhaseSimulator:
         *,
         record_timeline: bool = False,
         observer: ObserverLike = NULL_OBSERVER,
+        checkpoint_every: int = 0,
+        checkpoint_cost: float = 0.0,
     ):
+        check_integer(checkpoint_every, "checkpoint_every", minimum=0)
+        if checkpoint_cost < 0:
+            raise ValueError(
+                f"checkpoint_cost must be >= 0, got {checkpoint_cost}"
+            )
         self.spec = spec
         self.policy = policy
+        #: Periodic-checkpoint model (mirrors repro.ckpt on the real
+        #: driver): every ``checkpoint_every`` phases all nodes synchronize
+        #: — the snapshot is collective — and each pays ``checkpoint_cost``
+        #: seconds scaled by its share of the domain.  0 disables it.
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_cost = checkpoint_cost
         # Scenario/timeline trace events (virtual-time observability);
         # NULL_OBSERVER unless an observer or REPRO_OBS_TRACE is given.
         self.observer = resolve_observer(observer)
@@ -231,6 +244,27 @@ class PhaseSimulator:
             t[i] = done
             t[j] = done
 
+    def _charge_checkpoint(self) -> None:
+        """One collective snapshot: a barrier at the slowest node (health
+        verdicts and the manifest commit are collective) plus a per-node
+        write cost proportional to its slab."""
+        spec = self.spec
+        n = spec.n_nodes
+        t = self._times
+        t_bar = float(t.max())
+        ratios = self.partition.point_counts() / spec.average_points
+        done = t_bar + self.checkpoint_cost * ratios
+        for i in range(n):
+            self.profile.add_checkpoint(i, float(done[i] - t[i]))
+        self._times = done.astype(np.float64)
+        if self.observer.enabled:
+            self.observer.emit(
+                "sim_checkpoint",
+                phase=self.phases_run,
+                barrier=t_bar,
+                write_cost=[float(x) for x in (done - t_bar)],
+            )
+
     # ---------------------------------------------------------------- run
     def run(self, phases: int) -> SimulationResult:
         """Execute *phases* phases (plus remapping at the configured
@@ -259,6 +293,11 @@ class PhaseSimulator:
                     self._partition_history.append(
                         self.partition.plane_counts().tolist()
                     )
+            if (
+                self.checkpoint_every
+                and self.phases_run % self.checkpoint_every == 0
+            ):
+                self._charge_checkpoint()
         if traced:
             self.observer.emit(
                 "sim_end",
@@ -295,6 +334,14 @@ def simulate(
     phases: int,
     *,
     observer: ObserverLike = NULL_OBSERVER,
+    checkpoint_every: int = 0,
+    checkpoint_cost: float = 0.0,
 ) -> SimulationResult:
     """One-shot convenience wrapper."""
-    return PhaseSimulator(spec, policy, observer=observer).run(phases)
+    return PhaseSimulator(
+        spec,
+        policy,
+        observer=observer,
+        checkpoint_every=checkpoint_every,
+        checkpoint_cost=checkpoint_cost,
+    ).run(phases)

@@ -99,12 +99,48 @@ def main(argv: list[str] | None = None) -> int:
             "inspect with 'python -m repro.obs.report summary PATH')"
         ),
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "checkpoint every solver run under DIR (repro.ckpt store; "
+            "one subdirectory per configuration; equivalent to "
+            "REPRO_CKPT_DIR=DIR)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        metavar="N",
+        type=int,
+        default=0,
+        help="snapshot interval in steps (with --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume each run from its latest good checkpoint under "
+            "--checkpoint-dir (interrupted experiments continue "
+            "bit-exactly)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.trace:
         # The instrumented layers discover the observer through the
         # environment, so experiment code needs no plumbing.
         os.environ[TRACE_ENV_VAR] = args.trace
+    if (args.checkpoint_every or args.resume) and not args.checkpoint_dir:
+        parser.error("--checkpoint-every/--resume need --checkpoint-dir")
+    if args.checkpoint_dir:
+        # Same discovery idiom as tracing: solvers consult REPRO_CKPT_*
+        # (see repro.ckpt.policy), so experiment code needs no plumbing.
+        from repro.ckpt.policy import ENV_DIR, ENV_EVERY, ENV_RESUME
+
+        os.environ[ENV_DIR] = args.checkpoint_dir
+        os.environ[ENV_EVERY] = str(args.checkpoint_every)
+        os.environ[ENV_RESUME] = "1" if args.resume else "0"
     obs = observer_from_env()
 
     names = list(ORDER) if "all" in args.experiments else args.experiments

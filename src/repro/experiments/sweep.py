@@ -21,6 +21,7 @@ from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+from repro.ckpt.io import atomic_open
 from repro.cluster.scenario import Scenario
 from repro.core.policies import POLICY_NAMES
 from repro.util.tables import format_table
@@ -89,7 +90,7 @@ def sweep_to_csv(rows: list[SweepRow], path: str | Path) -> None:
     """Export sweep rows to CSV."""
     if not rows:
         raise ValueError("no rows to export")
-    with open(Path(path), "w", newline="") as fh:
+    with atomic_open(Path(path), "w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(
             ["scenario", "policy", "total_time_s", "planes_moved", "max_planes"]

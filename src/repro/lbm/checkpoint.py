@@ -13,6 +13,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.ckpt.io import atomic_savez
 from repro.lbm.solver import LBMConfig, MulticomponentLBM
 
 #: Bumped when the on-disk layout changes.
@@ -38,7 +39,7 @@ def save_checkpoint(solver: MulticomponentLBM, path: str | Path) -> None:
     """Write the solver state to *path* (``.npz``)."""
     path = Path(path)
     meta = _config_fingerprint(solver.config)
-    np.savez_compressed(
+    atomic_savez(
         path,
         f=solver.f,
         step_count=np.int64(solver.step_count),

@@ -10,6 +10,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.ckpt.io import atomic_open, atomic_savez, atomic_write_text
 from repro.lbm.diagnostics import Profile
 from repro.lbm.solver import MulticomponentLBM
 
@@ -18,7 +19,7 @@ def export_fields_npz(solver: MulticomponentLBM, path: str | Path) -> None:
     """Save the macroscopic fields (densities per component, mixture
     velocity, fluid mask) to a compressed ``.npz``."""
     names = [c.name for c in solver.config.components]
-    np.savez_compressed(
+    atomic_savez(
         Path(path),
         component_names=np.array(names),
         rho=solver.rho,
@@ -32,7 +33,7 @@ def export_profile_csv(
     profile: Profile, path: str | Path, *, value_name: str = "value"
 ) -> None:
     """Write a 1-D profile as a two-column CSV."""
-    with open(Path(path), "w", newline="") as fh:
+    with atomic_open(Path(path), "w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(["position", value_name])
         for d, v in zip(profile.positions, profile.values):
@@ -97,4 +98,4 @@ def export_vtk(solver: MulticomponentLBM, path: str | Path) -> None:
     vy = np.transpose(u3[1], (2, 1, 0)).ravel()
     vz = np.transpose(u3[2], (2, 1, 0)).ravel()
     lines.extend(f"{a:.9g} {b:.9g} {c:.9g}" for a, b, c in zip(vx, vy, vz))
-    path.write_text("\n".join(lines) + "\n")
+    atomic_write_text(path, "\n".join(lines) + "\n")

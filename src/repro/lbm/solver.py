@@ -268,6 +268,27 @@ class MulticomponentLBM:
         self.step_count = 0
         self.update_moments_and_forces()
 
+    def restore_state(self, f: np.ndarray, step: int) -> None:
+        """Adopt checkpointed populations and step counter.
+
+        All derived fields (densities, momenta, forces, equilibrium
+        velocities) are recomputed from *f*, exactly as at the end of a
+        phase — so the next :meth:`step` continues bit-identically to a
+        run that was never interrupted (see :mod:`repro.ckpt`).
+        """
+        f = np.asarray(f, dtype=np.float64)
+        if f.shape != self.f.shape:
+            raise ValueError(
+                f"checkpointed f has shape {f.shape}, solver expects "
+                f"{self.f.shape}"
+            )
+        step = int(step)
+        if step < 0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        self.f = f.copy()
+        self.step_count = step
+        self.update_moments_and_forces()
+
     # ------------------------------------------------------------ energy
     def kinetic_energy(self) -> float:
         """Total kinetic energy ``sum rho |u|^2 / 2`` over fluid nodes."""
@@ -300,18 +321,57 @@ class MulticomponentLBM:
         *,
         callback: Callable[["MulticomponentLBM"], None] | None = None,
         check_interval: int = 0,
+        checkpoint_every: int = 0,
+        checkpoint_store=None,
     ) -> None:
         """Run *n_steps* phases; optionally call *callback(self)* after each
         and check numerical health every *check_interval* steps (0 = never).
+
+        Checkpointing: with *checkpoint_store* (a
+        :class:`repro.ckpt.CheckpointStore`) and ``checkpoint_every > 0``,
+        the full state is snapshotted whenever the absolute step count hits
+        a multiple of the interval.  When neither is given, the
+        ``REPRO_CKPT_*`` environment variables are consulted (see
+        :mod:`repro.ckpt.policy`); with ``REPRO_CKPT_RESUME`` set the run
+        restores the latest good checkpoint and treats *n_steps* as the
+        TOTAL step target, executing only the remainder.
         """
         if n_steps < 0:
             raise ValueError(f"n_steps must be >= 0, got {n_steps}")
-        for i in range(n_steps):
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if checkpoint_every and checkpoint_store is None:
+            raise ValueError("checkpoint_every > 0 needs a checkpoint_store")
+        store = checkpoint_store
+        every = checkpoint_every
+        target = self.step_count + n_steps
+        if store is None:
+            # Lazy import: repro.ckpt is only paid for when enabled.
+            from repro.ckpt.policy import policy_from_env
+
+            policy = policy_from_env()
+            if policy is not None:
+                policy_store = policy.store_for(
+                    self.config, observer=self.observer
+                )
+                store = policy_store
+                every = policy.every
+                if policy.resume:
+                    manifest = policy_store.latest_good()
+                    if manifest is not None:
+                        policy_store.restore_solver(self, manifest=manifest)
+                        target = n_steps  # resumed: n_steps is the total
+        remaining = max(0, target - self.step_count)
+        for i in range(remaining):
             self.step()
             if check_interval and (i + 1) % check_interval == 0:
                 self.check_health()
             if callback is not None:
                 callback(self)
+            if every and store is not None and self.step_count % every == 0:
+                store.save_solver(self)
 
     def collide(self) -> None:
         """Relax every component toward its forced equilibrium (BGK or

@@ -31,10 +31,19 @@ from repro.core.policies import (
     RemappingConfig,
     window_proposal,
 )
+from repro.ckpt.manifest import (
+    CheckpointError,
+    CheckpointRejected,
+    Manifest,
+    ShardInfo,
+    check_fingerprint,
+    config_fingerprint,
+)
 from repro.lbm.backends import create_backend
 from repro.lbm.equilibrium import equilibrium
 from repro.lbm.forces import body_force_field, wall_force_field
 from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.macroscopic import mixture_velocity
 from repro.lbm.solver import LBMConfig
 from repro.obs.observer import (
     NULL_OBSERVER,
@@ -56,9 +65,16 @@ LoadTimeFn = Callable[[int, int, int], float]
 
 @dataclass
 class ParallelRunResult:
-    """What one rank reports back after a run."""
+    """What one rank reports back after a run.
+
+    ``plane_start``/``plane_count`` are the rank's final slice of the
+    global x axis — the plane-ownership map after all dynamic remapping,
+    carried explicitly so reassembly never has to assume rank order
+    equals x order (it does, for chain migration, and
+    :func:`assemble_global_f` verifies it)."""
 
     rank: int
+    plane_start: int
     f_interior: np.ndarray
     plane_count: int
     plane_history: list[int]
@@ -81,6 +97,9 @@ class ParallelLBM:
         remap_config: RemappingConfig | None = None,
         load_time_fn: LoadTimeFn | None = None,
         observer: ObserverLike = NULL_OBSERVER,
+        checkpoint_every: int = 0,
+        checkpoint_store=None,
+        faults=None,
     ):
         if len(initial_counts) != comm.size:
             raise ValueError(
@@ -91,12 +110,31 @@ class ParallelLBM:
             raise ValueError(
                 "initial plane counts must sum to the global x extent"
             )
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if checkpoint_every and checkpoint_store is None:
+            raise ValueError("checkpoint_every > 0 needs a checkpoint_store")
         self.comm = comm
         self.config = config
         self.policy_name = policy
         self.remap_config = remap_config or RemappingConfig()
         self.load_time_fn = load_time_fn
         self.decomp = SlabDecomposition(initial_counts)
+        #: Checkpointing (see :mod:`repro.ckpt`): a shared store plus the
+        #: interval in phases; 0 disables periodic snapshots.
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_store = checkpoint_store
+        #: Fault-injection plan (:class:`repro.ckpt.FaultPlan`) shared by
+        #: every rank; ``None`` in production.
+        self.faults = faults
+        #: Global index of this rank's first interior plane.  Maintained
+        #: incrementally through migrations (the local ``decomp`` only
+        #: tracks our own count, so its ``start`` goes stale) — chain
+        #: migration keeps ranks x-ordered, so left-edge transfers are the
+        #: only thing that moves it.
+        self.plane_start = sum(initial_counts[: comm.rank])
 
         # Rank-scoped observability handle; the shared NULL_OBSERVER when
         # neither an observer nor REPRO_OBS_TRACE is provided.
@@ -217,6 +255,13 @@ class ParallelLBM:
             self._collide()
             t_compute = time.perf_counter() - t0
 
+            if self.faults is not None:
+                # Between collision and the halo exchange: the state is
+                # mid-update and no messages are in flight, so a job kill
+                # here cannot strand a peer in a blocking recv.
+                self.faults.fire(
+                    "mid_phase", rank=self.comm.rank, at=self.phase
+                )
             self.halo.exchange_f(self.f, self.phase)
 
             t1 = time.perf_counter()
@@ -245,6 +290,8 @@ class ParallelLBM:
         t0 = time.perf_counter()
         self._collide()
         t1 = time.perf_counter()
+        if self.faults is not None:
+            self.faults.fire("mid_phase", rank=self.comm.rank, at=self.phase)
         halo.exchange_f(self.f, self.phase)
         t2 = time.perf_counter()
         self._stream_and_bounce()
@@ -448,6 +495,7 @@ class ParallelLBM:
             if out_left > 0:
                 package, self.f = pack_planes(self.f, "left", out_left)
                 self._after_resize(-out_left)
+                self.plane_start += out_left
                 self.planes_sent += out_left
                 if traced:
                     self._emit_migrate(rnd, "send", "left", package)
@@ -466,6 +514,7 @@ class ParallelLBM:
             if package is not None:
                 self.f = unpack_planes(self.f, package, "left")
                 self._after_resize(package.shape[2])
+                self.plane_start -= package.shape[2]
                 self.planes_received += package.shape[2]
                 if traced:
                     self._emit_migrate(rnd, "recv", "left", package)
@@ -516,12 +565,14 @@ class ParallelLBM:
                 package = comm.recv(rank - 1, ("migrate", rnd, "R"))
                 self.f = unpack_planes(self.f, package, "left")
                 self._after_resize(package.shape[2])
+                self.plane_start -= package.shape[2]
                 self.planes_received += package.shape[2]
                 if traced:
                     self._emit_migrate(rnd, "recv", "left", package)
             elif flow < 0:  # sending leftward
                 package, self.f = pack_planes(self.f, "left", -flow)
                 self._after_resize(flow)
+                self.plane_start += -flow
                 self.planes_sent += -flow
                 comm.send(rank - 1, ("migrate", rnd, "L"), package)
                 if traced:
@@ -548,12 +599,177 @@ class ParallelLBM:
         self.decomp.adjust(self.comm.rank, delta)
         self._alloc_state()
 
+    # ---------------------------------------------------------- checkpoints
+    def check_health(self, max_velocity: float = 0.4) -> None:
+        """Raise ``FloatingPointError`` if this rank's interior went
+        non-finite or too fast — the gate in front of every checkpoint
+        write (a snapshot of a diverged state is worse than none)."""
+        rank = self.comm.rank
+        if not np.isfinite(self.f[:, :, 1:-1]).all():
+            raise FloatingPointError(
+                f"rank {rank}: non-finite populations at phase {self.phase}"
+            )
+        u = mixture_velocity(self.rho, self.mom, self.force)
+        mask = self._collide_mask > 0.0  # interior fluid nodes
+        umax = float(np.abs(u[:, mask]).max()) if mask.any() else 0.0
+        if umax > max_velocity:
+            raise FloatingPointError(
+                f"rank {rank}: velocity {umax:.3f} exceeds stability bound "
+                f"{max_velocity} at phase {self.phase}"
+            )
+
+    def _shard_arrays(self) -> dict[str, np.ndarray]:
+        return {
+            "f": np.ascontiguousarray(self.f[:, :, 1:-1]),
+            "step": np.asarray(self.phase, dtype=np.int64),
+            "planes_sent": np.asarray(self.planes_sent, dtype=np.int64),
+            "planes_received": np.asarray(
+                self.planes_received, dtype=np.int64
+            ),
+            "plane_history": np.asarray(self.plane_history, dtype=np.int64),
+            "history": np.asarray(self.history.times(), dtype=np.float64),
+        }
+
+    def _write_checkpoint(self) -> None:
+        """Collective checkpoint of the current phase (all ranks call this
+        at the same phase boundary).
+
+        Protocol: (1) every rank health-checks itself and the verdicts are
+        allgathered — so either all ranks proceed or all raise
+        :class:`~repro.ckpt.CheckpointRejected` together, and no rank can
+        be left waiting on a peer that bailed; (2) each rank writes its
+        shard atomically; (3) the shard records are allgathered and rank 0
+        commits the manifest (itself an atomic rename).  A crash anywhere
+        before (3) leaves an uncommitted generation that readers ignore.
+        """
+        comm, store = self.comm, self.checkpoint_store
+        step = self.phase
+        try:
+            self.check_health()
+            verdict = None
+        except FloatingPointError as exc:
+            verdict = str(exc)
+        verdicts = comm.allgather(verdict, ("ckpt_health", step))
+        bad = [v for v in verdicts if v is not None]
+        if bad:
+            raise CheckpointRejected("; ".join(bad))
+        with self.observer.span("ckpt.save", step=step):
+            shard = store.write_shard(
+                step,
+                comm.rank,
+                self._shard_arrays(),
+                plane_start=self.plane_start,
+                plane_count=self.local_planes,
+            )
+            infos = comm.allgather(shard.to_json(), ("ckpt_shards", step))
+            if comm.rank == 0:
+                store.commit(
+                    step,
+                    config_fingerprint(self.config),
+                    [ShardInfo.from_json(doc) for doc in infos],
+                )
+
+    def _adopt_interior(
+        self, f_interior: np.ndarray, plane_start: int, tag: object
+    ) -> None:
+        """Replace this rank's slab with *f_interior* (no ghosts) starting
+        at global plane *plane_start*, then refresh all derived state —
+        the same sequence a migration uses, so the next phase continues
+        bit-identically."""
+        ln = int(f_interior.shape[2])
+        new_f = np.zeros(
+            f_interior.shape[:2] + (ln + 2, *self.cross), dtype=np.float64
+        )
+        new_f[:, :, 1:-1] = f_interior
+        delta = ln - self.local_planes
+        self.f = new_f
+        if delta:
+            self.decomp.adjust(self.comm.rank, delta)
+        self._alloc_state()
+        self.plane_start = int(plane_start)
+        self._moments_and_forces(tag)
+
+    def restore_checkpoint(self, manifest: Manifest | None = None) -> Manifest:
+        """Collective restore from the store's latest good generation (or
+        an explicit *manifest*).
+
+        When the generation has one shard per rank, each rank reloads its
+        own shard — plane ownership, remap history and counters resume
+        exactly where they were.  With a different rank count the global
+        field is reassembled from the x-ordered shards and re-split
+        evenly; the physics is unchanged (decomposition invariance), only
+        the remapping bookkeeping restarts.
+        """
+        store = self.checkpoint_store
+        if store is None:
+            raise CheckpointError("this driver has no checkpoint_store")
+        if manifest is None:
+            manifest = store.latest_good()
+            if manifest is None:
+                raise CheckpointError(
+                    f"no restorable generation under {store.root}"
+                )
+        check_fingerprint(manifest, self.config)
+        comm = self.comm
+        shards = manifest.shards_in_x_order()
+        with self.observer.span("ckpt.restore", step=manifest.step):
+            if len(shards) == comm.size:
+                shard = shards[comm.rank]
+                arrays = store.load_shard_arrays(manifest, shard)
+                self._adopt_interior(
+                    arrays["f"],
+                    shard.plane_start,
+                    ("restore", manifest.step),
+                )
+                self.planes_sent = int(arrays["planes_sent"])
+                self.planes_received = int(arrays["planes_received"])
+                self.plane_history = [
+                    int(x) for x in arrays["plane_history"]
+                ]
+                self.history.clear()
+                for sample in arrays["history"]:
+                    self.history.record(float(sample))
+            else:
+                f_global = store.load_global_f(manifest)
+                base, extra = divmod(f_global.shape[2], comm.size)
+                if base < 1:
+                    raise CheckpointError(
+                        f"checkpoint has {f_global.shape[2]} planes, too few "
+                        f"for {comm.size} ranks"
+                    )
+                counts = [
+                    base + (1 if r < extra else 0) for r in range(comm.size)
+                ]
+                start = sum(counts[: comm.rank])
+                self._adopt_interior(
+                    f_global[:, :, start : start + counts[comm.rank]],
+                    start,
+                    ("restore", manifest.step),
+                )
+                self.planes_sent = 0
+                self.planes_received = 0
+                self.plane_history = [self.local_planes]
+                self.history.clear()
+        self.phase = manifest.step
+        if self.observer.enabled:
+            self.observer.counter("ckpt.restores").add(1)
+        return manifest
+
     # ------------------------------------------------------------------ run
     def run(self, phases: int) -> ParallelRunResult:
-        check_integer(phases, "phases", minimum=1)
+        check_integer(phases, "phases", minimum=0)
         for _ in range(phases):
+            if self.faults is not None:
+                self.faults.fire(
+                    "phase_start", rank=self.comm.rank, at=self.phase
+                )
             self.step_phase()
             self.maybe_remap()
+            if (
+                self.checkpoint_every
+                and self.phase % self.checkpoint_every == 0
+            ):
+                self._write_checkpoint()
         interior = np.ascontiguousarray(self.f[:, :, 1:-1])
         if self.observer.enabled:
             self.observer.emit(
@@ -567,6 +783,7 @@ class ParallelLBM:
             )
         return ParallelRunResult(
             rank=self.comm.rank,
+            plane_start=self.plane_start,
             f_interior=interior,
             plane_count=self.local_planes,
             plane_history=self.plane_history,
@@ -594,6 +811,10 @@ def run_parallel_lbm(
     timeout: float = 600.0,
     observer: ObserverLike = NULL_OBSERVER,
     trace_path: str | None = None,
+    checkpoint_every: int = 0,
+    checkpoint_store=None,
+    resume: bool = False,
+    faults=None,
 ) -> list[ParallelRunResult]:
     """Run the parallel LBM on an in-process cluster of *n_ranks* threads.
 
@@ -606,8 +827,33 @@ def run_parallel_lbm(
     timings and halo bytes, remap/migration events, a final metrics
     snapshot).  With neither, the ``REPRO_OBS_TRACE`` environment
     variable is consulted; unset means zero instrumentation overhead.
+
+    Checkpointing (see :mod:`repro.ckpt`): pass a shared
+    :class:`~repro.ckpt.CheckpointStore` plus ``checkpoint_every`` to
+    snapshot periodically.  With ``resume=True``, *phases* is the TOTAL
+    phase target: the ranks restore the latest good generation (if any)
+    and run only the remainder — bit-exactly continuing the interrupted
+    run.  *faults* (a :class:`~repro.ckpt.FaultPlan`) injects failures
+    for recovery testing; injected :class:`~repro.ckpt.InjectedFault`
+    errors surface from the cluster wrapped in ``RuntimeError``.
     """
     total_planes = config.geometry.shape[0]
+
+    resume_manifest = None
+    phases_to_run = phases
+    if resume:
+        if checkpoint_store is None:
+            raise ValueError("resume=True needs a checkpoint_store")
+        resume_manifest = checkpoint_store.latest_good()
+        if resume_manifest is not None:
+            check_fingerprint(resume_manifest, config)
+            phases_to_run = max(0, phases - resume_manifest.step)
+            shards = resume_manifest.shards_in_x_order()
+            if len(shards) == n_ranks and initial_counts is None:
+                # Start each rank at its checkpointed slab size so the
+                # per-shard restore path needs no reallocation.
+                initial_counts = [s.plane_count for s in shards]
+
     if initial_counts is None:
         base, extra = divmod(total_planes, n_ranks)
         if base < 1:
@@ -642,8 +888,13 @@ def run_parallel_lbm(
             remap_config=remap_config,
             load_time_fn=load_time_fn,
             observer=obs,
+            checkpoint_every=checkpoint_every,
+            checkpoint_store=checkpoint_store,
+            faults=faults,
         )
-        return driver.run(phases)
+        if resume_manifest is not None:
+            driver.restore_checkpoint(manifest=resume_manifest)
+        return driver.run(phases_to_run)
 
     try:
         results = run_spmd(n_ranks, rank_main, timeout=timeout)
@@ -657,8 +908,22 @@ def run_parallel_lbm(
 
 def assemble_global_f(results: list[ParallelRunResult]) -> np.ndarray:
     """Concatenate per-rank interiors back into the global population
-    array ``(C, Q, nx, *cross)`` (rank order = x order)."""
-    ordered = sorted(results, key=lambda r: r.rank)
+    array ``(C, Q, nx, *cross)``, ordered by each rank's final
+    ``plane_start`` and verified to tile the x axis exactly."""
+    ordered = sorted(results, key=lambda r: r.plane_start)
+    expect = 0
+    for r in ordered:
+        if r.plane_start != expect:
+            raise ValueError(
+                f"rank {r.rank} starts at plane {r.plane_start}, expected "
+                f"{expect}: the ownership map does not tile the x axis"
+            )
+        if r.plane_count != r.f_interior.shape[2]:
+            raise ValueError(
+                f"rank {r.rank} reports {r.plane_count} planes but carries "
+                f"{r.f_interior.shape[2]}"
+            )
+        expect += r.plane_count
     return np.concatenate([r.f_interior for r in ordered], axis=2)
 
 

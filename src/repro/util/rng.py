@@ -33,3 +33,41 @@ def spawn_rngs(seed: int | None, n: int) -> list[np.random.Generator]:
         raise ValueError(f"n must be >= 0, got {n}")
     seq = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in seq.spawn(n)]
+
+
+def generator_state(gen: np.random.Generator) -> dict:
+    """Snapshot a generator's bit-generator state as a JSON-safe dict.
+
+    The inverse of :func:`restore_generator`; used by ``repro.ckpt`` so a
+    resumed run continues the exact random stream it was interrupted on.
+    """
+    return _jsonify(gen.bit_generator.state)
+
+
+def restore_generator(state: dict) -> np.random.Generator:
+    """Rebuild a generator from a :func:`generator_state` snapshot."""
+    name = state.get("bit_generator")
+    if not isinstance(name, str):
+        raise ValueError("state lacks a 'bit_generator' name")
+    try:
+        cls = getattr(np.random, name)
+    except AttributeError as exc:
+        raise ValueError(f"unknown bit generator {name!r}") from exc
+    bitgen = cls()
+    bitgen.state = state
+    return np.random.Generator(bitgen)
+
+
+def _jsonify(obj):
+    """Recursively convert numpy scalars/arrays to plain Python types."""
+    if isinstance(obj, dict):
+        return {k: _jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonify(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return [_jsonify(v) for v in obj.tolist()]
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    return obj

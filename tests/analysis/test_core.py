@@ -15,7 +15,14 @@ from repro.analysis.core import (
 
 def test_registry_has_all_rules():
     rules = registered_rules()
-    assert set(rules) == {"REP000", "REP001", "REP002", "REP003", "REP004"}
+    assert set(rules) == {
+        "REP000",
+        "REP001",
+        "REP002",
+        "REP003",
+        "REP004",
+        "REP005",
+    }
     assert all(rules.values()), "every rule needs a title"
 
 

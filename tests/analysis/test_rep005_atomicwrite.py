@@ -1,0 +1,140 @@
+"""REP005: persistent writes route through repro.ckpt.io."""
+
+from __future__ import annotations
+
+
+def _rep005(report):
+    return [f for f in report.unsuppressed if f.rule == "REP005"]
+
+
+def test_write_mode_open_is_flagged(analyze):
+    report = analyze(
+        """\
+        def dump(path, text):
+            with open(path, "w") as fh:
+                fh.write(text)
+        """,
+        rules=["REP005"],
+    )
+    assert len(_rep005(report)) == 1
+
+
+def test_all_write_capable_modes_are_flagged(analyze):
+    report = analyze(
+        """\
+        a = open("x", "wb")
+        b = open("x", "a")
+        c = open("x", "x")
+        d = open("x", "r+b")
+        e = open("x", mode="w", newline="")
+        """,
+        rules=["REP005"],
+    )
+    assert len(_rep005(report)) == 5
+
+
+def test_read_mode_open_passes(analyze):
+    report = analyze(
+        """\
+        def load(path):
+            with open(path) as fh:
+                return fh.read()
+
+        def load_binary(path):
+            with open(path, "rb") as fh:
+                return fh.read()
+        """,
+        rules=["REP005"],
+    )
+    assert _rep005(report) == []
+
+
+def test_pathlib_open_with_write_mode_is_flagged(analyze):
+    report = analyze(
+        """\
+        from pathlib import Path
+
+        def dump(path, text):
+            with Path(path).open("w") as fh:
+                fh.write(text)
+        """,
+        rules=["REP005"],
+    )
+    assert len(_rep005(report)) == 1
+
+
+def test_write_text_write_bytes_tofile_are_flagged(analyze):
+    report = analyze(
+        """\
+        from pathlib import Path
+
+        def dump(path, text, data, arr):
+            Path(path).write_text(text)
+            Path(path).write_bytes(data)
+            arr.tofile(path)
+        """,
+        rules=["REP005"],
+    )
+    assert len(_rep005(report)) == 3
+
+
+def test_numpy_savers_are_flagged(analyze):
+    report = analyze(
+        """\
+        import numpy as np
+
+        def dump(path, arr):
+            np.save(path, arr)
+            np.savez(path, a=arr)
+            np.savez_compressed(path, a=arr)
+        """,
+        rules=["REP005"],
+    )
+    assert len(_rep005(report)) == 3
+
+
+def test_atomic_helper_usage_passes(analyze):
+    report = analyze(
+        """\
+        from repro.ckpt.io import atomic_open, atomic_savez, atomic_write_text
+
+        def dump(path, text, arrays):
+            atomic_write_text(path, text)
+            atomic_savez(path, **arrays)
+            with atomic_open(path, "w") as fh:
+                fh.write(text)
+        """,
+        rules=["REP005"],
+    )
+    assert _rep005(report) == []
+
+
+def test_allowlisted_modules_are_exempt(analyze):
+    source = """\
+        def raw_dump(path, data):
+            with open(path, "wb") as fh:
+                fh.write(data)
+        """
+    flagged = analyze(source, rel="repro/other/writer.py", rules=["REP005"])
+    assert len(_rep005(flagged)) == 1
+    # The fixture tree accumulates files, so filter findings by path.
+    report = analyze(source, rel="repro/ckpt/io.py", rules=["REP005"])
+    report = analyze(source, rel="repro/obs/sink.py", rules=["REP005"])
+    by_path = {f.path for f in _rep005(report)}
+    assert "repro/ckpt/io.py" not in by_path
+    assert "repro/obs/sink.py" not in by_path
+    assert "repro/other/writer.py" in by_path
+
+
+def test_suppression_with_reason_silences(analyze):
+    report = analyze(
+        """\
+        def damage(path):
+            # repro: allow[REP005] -- fixture exercises deliberate corruption
+            with open(path, "r+b") as fh:
+                fh.truncate(1)
+        """,
+        rules=["REP005"],
+    )
+    assert _rep005(report) == []
+    assert [f.rule for f in report.suppressed] == ["REP005"]

@@ -1,0 +1,165 @@
+"""``python -m repro.ckpt`` CLI: inspect, verify, prune."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.ckpt import CheckpointStore, corrupt_file
+from repro.ckpt.cli import main
+from repro.lbm.solver import MulticomponentLBM
+
+
+@pytest.fixture
+def populated_store(two_component_config, tmp_path):
+    """A store with committed generations at steps 2, 4 and 6."""
+    root = tmp_path / "ckpt"
+    store = CheckpointStore(root, keep_last=0)
+    solver = MulticomponentLBM(two_component_config)
+    for target in (2, 4, 6):
+        solver.run(target - solver.step_count)
+        store.save_solver(solver)
+    return store
+
+
+class TestInspect:
+    def test_lists_generations_as_table(self, populated_store, capsys):
+        assert main(["inspect", str(populated_store.root)]) == 0
+        out = capsys.readouterr().out
+        for token in ("step", "committed", "shards", "planes", "bytes"):
+            assert token in out
+        assert " 2 " in out and " 4 " in out and " 6 " in out
+
+    def test_json_output_is_machine_readable(
+        self, populated_store, capsys
+    ):
+        assert main(["inspect", str(populated_store.root), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [g["step"] for g in doc] == [2, 4, 6]
+        assert all(g["committed"] for g in doc)
+        assert all(g["shards"] == 1 for g in doc)
+        assert all(g["planes"] == 12 for g in doc)
+
+    def test_empty_store_reports_no_generations(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "nowhere")]) == 0
+        assert "no generations" in capsys.readouterr().out
+
+    def test_uncommitted_generation_is_visible(
+        self, populated_store, capsys
+    ):
+        (populated_store.manifest_path(6)).unlink()
+        main(["inspect", str(populated_store.root), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        by_step = {g["step"]: g for g in doc}
+        assert not by_step[6]["committed"]
+        assert "never committed" in by_step[6]["problem"]
+
+
+class TestVerify:
+    def test_default_verifies_latest_committed(
+        self, populated_store, capsys
+    ):
+        assert main(["verify", str(populated_store.root)]) == 0
+        assert "step 6: ok" in capsys.readouterr().out
+
+    def test_corrupted_shard_fails_with_nonzero_exit(
+        self, populated_store, capsys
+    ):
+        shard = populated_store.generation_dir(
+            6
+        ) / populated_store.shard_filename(0)
+        corrupt_file(shard)
+        assert main(["verify", str(populated_store.root)]) == 1
+        out = capsys.readouterr().out
+        assert "step 6: FAIL" in out
+        assert "checksum mismatch" in out
+
+    def test_all_flag_verifies_every_generation(
+        self, populated_store, capsys
+    ):
+        corrupt_file(
+            populated_store.generation_dir(4)
+            / populated_store.shard_filename(0)
+        )
+        assert main(["verify", str(populated_store.root), "--all"]) == 1
+        out = capsys.readouterr().out
+        assert "step 2: ok" in out
+        assert "step 4: FAIL" in out
+        assert "step 6: ok" in out
+
+    def test_step_flag_targets_one_generation(
+        self, populated_store, capsys
+    ):
+        assert (
+            main(["verify", str(populated_store.root), "--step", "4"]) == 0
+        )
+        assert "step 4: ok" in capsys.readouterr().out
+
+    def test_empty_store_exits_nonzero(self, tmp_path, capsys):
+        assert main(["verify", str(tmp_path / "nowhere")]) == 1
+        assert "no committed generation" in capsys.readouterr().out
+
+
+class TestPrune:
+    def test_prune_applies_retention(self, populated_store, capsys):
+        assert (
+            main(
+                [
+                    "prune",
+                    str(populated_store.root),
+                    "--keep-last",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "removed 2 generation(s): [2, 4]" in capsys.readouterr().out
+        assert [i.step for i in populated_store.generations()] == [6]
+
+    def test_keep_every_spares_multiples(self, populated_store, capsys):
+        main(
+            [
+                "prune",
+                str(populated_store.root),
+                "--keep-last",
+                "1",
+                "--keep-every",
+                "4",
+            ]
+        )
+        assert [i.step for i in populated_store.generations()] == [4, 6]
+
+    def test_nothing_to_remove(self, populated_store, capsys):
+        main(["prune", str(populated_store.root), "--keep-last", "5"])
+        assert "nothing to remove" in capsys.readouterr().out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_verify_detects_corruption(
+        self, populated_store
+    ):
+        """Acceptance criterion: ``python -m repro.ckpt verify`` exits
+        non-zero when a shard is corrupted."""
+        argv = [sys.executable, "-m", "repro.ckpt", "verify"]
+        ok = subprocess.run(
+            argv + [str(populated_store.root)],
+            capture_output=True,
+            text=True,
+        )
+        assert ok.returncode == 0, ok.stderr
+        assert "ok" in ok.stdout
+
+        corrupt_file(
+            populated_store.generation_dir(6)
+            / populated_store.shard_filename(0)
+        )
+        bad = subprocess.run(
+            argv + [str(populated_store.root)],
+            capture_output=True,
+            text=True,
+        )
+        assert bad.returncode == 1
+        assert "FAIL" in bad.stdout

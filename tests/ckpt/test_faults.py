@@ -1,0 +1,151 @@
+"""Fault-injection primitives: specs, plans, byte-level corruptors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckpt.faults import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    corrupt_file,
+    truncate_file,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_site(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec(site="after_lunch", at=3)
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError, match="kill"):
+            FaultSpec(site="phase_start", at=3, action="explode")
+
+    def test_stall_needs_positive_duration(self):
+        with pytest.raises(ValueError, match="stall_seconds"):
+            FaultSpec(site="phase_start", at=3, action="stall")
+
+    def test_rank_none_matches_every_rank(self):
+        spec = FaultSpec(site="mid_phase", at=5)
+        assert spec.matches("mid_phase", rank=0, at=5)
+        assert spec.matches("mid_phase", rank=7, at=5)
+        assert not spec.matches("mid_phase", rank=0, at=6)
+        assert not spec.matches("phase_start", rank=0, at=5)
+
+    def test_specific_rank_matches_only_that_rank(self):
+        spec = FaultSpec(site="shard_written", at=4, rank=2)
+        assert spec.matches("shard_written", rank=2, at=4)
+        assert not spec.matches("shard_written", rank=1, at=4)
+
+    def test_all_sites_are_constructible(self):
+        for site in FAULT_SITES:
+            FaultSpec(site=site, at=0)
+
+
+class TestFaultPlan:
+    def test_kill_job_fires_for_every_rank(self):
+        plan = FaultPlan.kill_job(13)
+        for rank in range(3):
+            with pytest.raises(InjectedFault) as err:
+                plan.fire("phase_start", rank=rank, at=13)
+            assert err.value.site == "phase_start"
+            assert err.value.rank == rank
+            assert err.value.at == 13
+        assert plan.fired == [
+            ("phase_start", 0, 13),
+            ("phase_start", 1, 13),
+            ("phase_start", 2, 13),
+        ]
+
+    def test_kill_rank_spares_other_ranks(self):
+        plan = FaultPlan.kill_rank(1, 6, site="mid_phase")
+        plan.fire("mid_phase", rank=0, at=6)  # survives
+        with pytest.raises(InjectedFault):
+            plan.fire("mid_phase", rank=1, at=6)
+
+    def test_non_matching_phase_passes_through(self):
+        plan = FaultPlan.kill_job(13)
+        for at in (12, 14):
+            plan.fire("phase_start", rank=0, at=at)
+        assert plan.fired == []
+
+    def test_stall_sleeps_instead_of_raising(self):
+        plan = FaultPlan.stall_writer(0, 4, 0.001)
+        plan.fire("shard_written", rank=0, at=4)  # no raise
+        assert plan.fired == [("shard_written", 0, 4)]
+
+    def test_also_chains_additional_specs(self):
+        plan = FaultPlan.kill_job(10).also(
+            FaultSpec(site="pre_commit", at=4)
+        )
+        with pytest.raises(InjectedFault):
+            plan.fire("pre_commit", rank=0, at=4)
+        with pytest.raises(InjectedFault):
+            plan.fire("phase_start", rank=2, at=10)
+
+
+class TestByteCorruptors:
+    def test_corrupt_file_flips_exactly_one_byte(self, tmp_path):
+        path = tmp_path / "blob"
+        original = bytes(range(256))
+        path.write_bytes(original)
+        offset = corrupt_file(path)
+        damaged = path.read_bytes()
+        assert len(damaged) == len(original)
+        diffs = [i for i in range(256) if damaged[i] != original[i]]
+        assert diffs == [offset] == [128]
+
+    def test_corrupt_file_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        payload = b"determinism" * 10
+        a.write_bytes(payload)
+        b.write_bytes(payload)
+        corrupt_file(a)
+        corrupt_file(b)
+        assert a.read_bytes() == b.read_bytes() != payload
+
+    def test_corrupt_file_never_writes_the_same_byte(self, tmp_path):
+        # xor that would be a no-op must still damage the file.
+        path = tmp_path / "blob"
+        path.write_bytes(b"\x00\x00\x00")
+        corrupt_file(path, offset=1, xor=0)
+        assert path.read_bytes() != b"\x00\x00\x00"
+
+    def test_corrupt_file_validates_inputs(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.write_bytes(b"")
+        with pytest.raises(ValueError, match="empty"):
+            corrupt_file(empty)
+        short = tmp_path / "short"
+        short.write_bytes(b"abc")
+        with pytest.raises(ValueError, match="outside"):
+            corrupt_file(short, offset=3)
+
+    def test_truncate_file_cuts_to_size(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(b"x" * 100)
+        removed = truncate_file(path, 37)
+        assert removed == 63
+        assert path.stat().st_size == 37
+
+    def test_truncate_file_validates_keep_bytes(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(b"x" * 10)
+        with pytest.raises(ValueError, match="keep_bytes"):
+            truncate_file(path, 10)
+        with pytest.raises(ValueError, match="keep_bytes"):
+            truncate_file(path, -1)
+
+    def test_corruption_defeats_npz_or_checksum(self, tmp_path):
+        """The point of the corruptors: damage that verification (or the
+        reader) must catch."""
+        from repro.ckpt.io import atomic_savez, sha256_file
+
+        path = tmp_path / "arrays.npz"
+        atomic_savez(path, a=np.arange(5, dtype=np.float64))
+        before = sha256_file(path)
+        corrupt_file(path)
+        assert sha256_file(path) != before

@@ -1,0 +1,109 @@
+"""Atomic-write primitives: crash safety, all-or-nothing semantics."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ckpt.io import (
+    atomic_open,
+    atomic_savez,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    sha256_bytes,
+    sha256_file,
+)
+
+
+class TestAtomicOpen:
+    def test_writes_land(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with atomic_open(path) as fh:
+            fh.write("hello")
+        assert path.read_text() == "hello"
+
+    def test_no_temp_residue_on_success(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with atomic_open(path) as fh:
+            fh.write("x")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_exception_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        with pytest.raises(RuntimeError, match="boom"):
+            with atomic_open(path) as fh:
+                fh.write("half of the new conte")
+                raise RuntimeError("boom")
+        assert path.read_text() == "old"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_exception_with_no_preexisting_target(self, tmp_path):
+        path = tmp_path / "fresh.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_open(path) as fh:
+                fh.write("partial")
+                raise RuntimeError("boom")
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_rejects_read_and_append_modes(self, tmp_path):
+        for mode in ("r", "rb", "a", "r+b"):
+            with pytest.raises(ValueError, match="write mode"):
+                with atomic_open(tmp_path / "x", mode):
+                    pass
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "out.txt"
+        with atomic_open(path) as fh:
+            fh.write("deep")
+        assert path.read_text() == "deep"
+
+
+class TestOneShotHelpers:
+    def test_write_bytes_roundtrip(self, tmp_path):
+        path = tmp_path / "blob"
+        n = atomic_write_bytes(path, b"\x00\x01\x02")
+        assert n == 3
+        assert path.read_bytes() == b"\x00\x01\x02"
+
+    def test_write_text_replaces_previous_content(self, tmp_path):
+        path = tmp_path / "t.txt"
+        atomic_write_text(path, "first")
+        atomic_write_text(path, "second")
+        assert path.read_text() == "second"
+
+    def test_write_json_is_sorted_and_stable(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"b": 1, "a": [2, 3]})
+        text = path.read_text()
+        assert json.loads(text) == {"a": [2, 3], "b": 1}
+        assert text.index('"a"') < text.index('"b"')
+        assert text.endswith("\n")
+
+    def test_savez_roundtrip(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        a = np.arange(12, dtype=np.float64).reshape(3, 4)
+        size = atomic_savez(path, a=a, step=np.int64(7))
+        assert size == path.stat().st_size > 0
+        with np.load(path) as data:
+            assert np.array_equal(data["a"], a)
+            assert int(data["step"]) == 7
+
+
+class TestChecksums:
+    def test_file_and_bytes_digests_agree(self, tmp_path):
+        payload = b"some bytes" * 1000
+        path = tmp_path / "payload"
+        path.write_bytes(payload)
+        assert sha256_file(path) == sha256_bytes(payload)
+
+    def test_digest_changes_with_content(self, tmp_path):
+        path = tmp_path / "payload"
+        path.write_bytes(b"aaa")
+        before = sha256_file(path)
+        path.write_bytes(b"aab")
+        assert sha256_file(path) != before

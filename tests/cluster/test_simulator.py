@@ -142,3 +142,42 @@ class TestValidationAndAccounting:
         spec = ClusterSpec(n_nodes=1, total_planes=10, plane_points=100)
         result = simulate(spec, make_policy("no-remap"), 50)
         assert result.total_time > 0
+
+
+class TestCheckpointCost:
+    def test_checkpointing_charges_time(self):
+        base = simulate(
+            paper_cluster(dedicated_traces(20)), make_policy("no-remap"), 100
+        )
+        ck = simulate(
+            paper_cluster(dedicated_traces(20)),
+            make_policy("no-remap"),
+            100,
+            checkpoint_every=10,
+            checkpoint_cost=0.5,
+        )
+        assert ck.total_time > base.total_time
+        assert ck.profile.checkpoint.sum() > 0
+        assert base.profile.checkpoint.sum() == 0.0
+
+    def test_profile_still_accounts_total_time(self):
+        result = simulate(
+            paper_cluster(fixed_slow_traces(20, [9])),
+            make_policy("filtered"),
+            200,
+            checkpoint_every=20,
+            checkpoint_cost=0.2,
+        )
+        totals = result.profile.totals()
+        assert np.allclose(totals, result.node_times, rtol=0.02)
+
+    def test_validation(self):
+        spec = paper_cluster(None)
+        with pytest.raises(ValueError):
+            PhaseSimulator(
+                spec, make_policy("no-remap"), checkpoint_every=-1
+            )
+        with pytest.raises(ValueError):
+            PhaseSimulator(
+                spec, make_policy("no-remap"), checkpoint_cost=-0.1
+            )

@@ -42,3 +42,39 @@ class TestCli:
     def test_requires_argument(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCheckpointFlags:
+    def test_flags_set_the_process_policy(self, tmp_path, monkeypatch):
+        from repro.ckpt.policy import ENV_DIR, ENV_EVERY, ENV_RESUME
+
+        # Register the vars with monkeypatch so main()'s direct writes
+        # are rolled back at teardown.
+        for var in (ENV_DIR, ENV_EVERY, ENV_RESUME):
+            monkeypatch.setenv(var, "")
+        root = tmp_path / "ckpt"
+        assert (
+            main(
+                [
+                    "ext-decomposition",
+                    "--checkpoint-dir",
+                    str(root),
+                    "--checkpoint-every",
+                    "50",
+                ]
+            )
+            == 0
+        )
+        import os
+
+        assert os.environ[ENV_DIR] == str(root)
+        assert os.environ[ENV_EVERY] == "50"
+        assert os.environ[ENV_RESUME] == "0"
+
+    def test_interval_without_dir_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["ext-decomposition", "--checkpoint-every", "10"])
+
+    def test_resume_without_dir_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["ext-decomposition", "--resume"])
