@@ -1,5 +1,5 @@
-.PHONY: install test lint bench bench-kernels experiments experiments-fast \
-    trace-demo ckpt-demo clean
+.PHONY: install test lint bench bench-kernels bench-transport experiments \
+    experiments-fast trace-demo ckpt-demo clean
 
 install:
 	pip install -e '.[test]'
@@ -19,6 +19,10 @@ bench:
 # Side-by-side kernel-backend timings; writes BENCH_kernels.json.
 bench-kernels:
 	pytest benchmarks/test_bench_kernels.py --benchmark-only
+
+# Threads vs. processes on the identical run; writes BENCH_transport.json.
+bench-transport:
+	pytest benchmarks/test_bench_transport.py --benchmark-only
 
 experiments:
 	python -m repro.experiments.runner all

@@ -4,12 +4,12 @@ overhead and migration cost on actual numpy buffers."""
 import numpy as np
 import pytest
 
+from repro.api import RunSpec, run
 from repro.core.policies import RemappingConfig
 from repro.lbm.components import ComponentSpec
 from repro.lbm.geometry import ChannelGeometry
 from repro.lbm.lattice import D2Q9
 from repro.lbm.solver import LBMConfig, MulticomponentLBM
-from repro.parallel.driver import run_parallel_lbm
 from repro.parallel.migration import pack_planes, unpack_planes
 
 
@@ -37,11 +37,8 @@ def test_bench_sequential_reference(benchmark):
 @pytest.mark.parametrize("ranks", [2, 4])
 def test_bench_parallel_ranks(benchmark, ranks):
     cfg = channel_config()
-    benchmark.pedantic(
-        lambda: run_parallel_lbm(ranks, cfg, 20, policy="no-remap"),
-        rounds=3,
-        iterations=1,
-    )
+    spec = RunSpec(config=cfg, phases=20, ranks=ranks, policy="no-remap")
+    benchmark.pedantic(lambda: run(spec), rounds=3, iterations=1)
     benchmark.extra_info["note"] = (
         "threads share the GIL; this measures protocol overhead, not speedup"
     )
@@ -68,15 +65,12 @@ def test_bench_parallel_with_migration(benchmark):
         t = points * 1e-6
         return t / 0.35 if rank == 1 else t
 
-    benchmark.pedantic(
-        lambda: run_parallel_lbm(
-            3,
-            cfg,
-            30,
-            policy="filtered",
-            remap_config=RemappingConfig(interval=5, history=5),
-            load_time_fn=load_fn,
-        ),
-        rounds=2,
-        iterations=1,
+    spec = RunSpec(
+        config=cfg,
+        phases=30,
+        ranks=3,
+        policy="filtered",
+        remap_config=RemappingConfig(interval=5, history=5),
+        load_time_fn=load_fn,
     )
+    benchmark.pedantic(lambda: run(spec), rounds=2, iterations=1)

@@ -1,0 +1,101 @@
+"""Thread vs. process transport on the identical parallel run.
+
+The same :class:`repro.api.RunSpec` — water/air microchannel, fused
+backend, no remapping — is executed on both transports at several rank
+counts, and the wall-clock ratio lands in ``BENCH_transport.json`` at
+the repository root.  The threads transport serializes all numerics
+under the GIL, so its wall-clock is flat (or worse) in the rank count;
+the process transport runs ranks on real cores, so its speedup is
+bounded by the ``cpus`` recorded in the payload — on a single-CPU
+container expect a ratio near 1.0 (process startup and shared-memory
+copies are pure overhead there), on a 4-core machine expect the
+4-rank ratio to approach the core count.
+
+Under ``--benchmark-disable`` each configuration still runs once (a
+smoke test of both transports) but no timings are recorded.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import RunSpec, run
+from repro.lbm.components import ComponentSpec
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import D2Q9
+from repro.lbm.solver import LBMConfig
+
+SHAPE = (96, 42)
+PHASES = 60
+RANK_COUNTS = (2, 4)
+TRANSPORTS = ("threads", "processes")
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_transport.json"
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def channel_config() -> LBMConfig:
+    return LBMConfig(
+        geometry=ChannelGeometry(shape=SHAPE, wall_axes=(1,)),
+        components=(
+            ComponentSpec("water", tau=1.0, rho_init=1.0),
+            ComponentSpec("air", tau=1.0, rho_init=0.03),
+        ),
+        g_matrix=np.array([[0.0, 0.9], [0.9, 0.0]]),
+        lattice=D2Q9,
+        body_acceleration=(1e-6, 0.0),
+        backend="fused",
+    )
+
+
+@pytest.fixture(scope="module")
+def bench_record():
+    """Collect ``{ranks: {transport: seconds}}`` across the module and
+    write BENCH_transport.json when the module finishes."""
+    results: dict[str, dict[str, float]] = {}
+    yield results
+    if not results:
+        return
+    for timings in results.values():
+        if all(t in timings for t in TRANSPORTS):
+            timings["speedup_processes_vs_threads"] = round(
+                timings["threads"] / timings["processes"], 2
+            )
+    payload = {
+        "shape": list(SHAPE),
+        "phases": PHASES,
+        "backend": "fused",
+        "policy": "no-remap",
+        "cpus": _available_cpus(),
+        "unit": "seconds_per_run",
+        "ranks": results,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+@pytest.mark.parametrize("ranks", RANK_COUNTS)
+def test_bench_transport(benchmark, bench_record, ranks, transport):
+    cfg = channel_config()
+    spec = RunSpec(
+        config=cfg,
+        phases=PHASES,
+        ranks=ranks,
+        transport=transport,
+        policy="no-remap",
+    )
+    benchmark.pedantic(lambda: run(spec), rounds=3, iterations=1)
+    benchmark.extra_info["cpus"] = _available_cpus()
+    if benchmark.stats is None:  # --benchmark-disable smoke run
+        return
+    seconds = round(benchmark.stats["mean"], 4)
+    benchmark.extra_info["seconds_per_run"] = seconds
+    bench_record.setdefault(str(ranks), {})[transport] = seconds

@@ -13,6 +13,7 @@ dynamic plane remapping active, checkpointing periodically, then:
 
     python examples/checkpoint_demo.py [--store ckpt-demo]
         [--ranks 3] [--phases 40] [--every 5]
+        [--transport threads|processes]
 
 Inspect the store afterwards with:
 
@@ -25,13 +26,13 @@ import shutil
 
 import numpy as np
 
+from repro.api import RunSpec, run
 from repro.ckpt import CheckpointStore, FaultPlan, corrupt_file
 from repro.core import RemappingConfig
 from repro.lbm.components import ComponentSpec
 from repro.lbm.geometry import ChannelGeometry
 from repro.lbm.lattice import D2Q9
 from repro.lbm.solver import LBMConfig, MulticomponentLBM
-from repro.parallel.driver import assemble_global_f, run_parallel_lbm
 
 
 def build_config() -> LBMConfig:
@@ -60,10 +61,17 @@ def main() -> None:
     parser.add_argument("--ranks", type=int, default=3)
     parser.add_argument("--phases", type=int, default=40)
     parser.add_argument("--every", type=int, default=5)
+    parser.add_argument("--transport", default="threads",
+                        choices=("threads", "processes"),
+                        help="parallel transport (default threads)")
     args = parser.parse_args()
 
     config = build_config()
-    run_kwargs = dict(
+    spec_kwargs = dict(
+        config=config,
+        phases=args.phases,
+        ranks=args.ranks,
+        transport=args.transport,
         policy="filtered",
         remap_config=RemappingConfig(interval=4),
         load_time_fn=skewed_load,
@@ -76,15 +84,15 @@ def main() -> None:
     shutil.rmtree(args.store, ignore_errors=True)
     store = CheckpointStore(args.store, keep_last=0)
     crash_at = (args.phases * 2) // 3
-    print(f"parallel run on {args.ranks} ranks, checkpoint every "
-          f"{args.every} phases, whole job killed at phase {crash_at}...")
+    print(f"parallel run on {args.ranks} {args.transport} ranks, checkpoint "
+          f"every {args.every} phases, whole job killed at phase "
+          f"{crash_at}...")
     try:
-        run_parallel_lbm(
-            args.ranks, config, args.phases,
+        run(RunSpec(
             checkpoint_every=args.every, checkpoint_store=store,
             faults=FaultPlan.kill_job(crash_at), timeout=60.0,
-            **run_kwargs,
-        )
+            **spec_kwargs,
+        ))
         raise SystemExit("the injected fault did not fire?")
     except RuntimeError as exc:
         print(f"  crashed as planned: {exc}")
@@ -101,13 +109,11 @@ def main() -> None:
           f"(step {newest} detected as damaged and skipped)")
 
     print(f"resuming toward the {args.phases}-phase target...")
-    results = run_parallel_lbm(
-        args.ranks, config, args.phases,
+    result = run(RunSpec(
         checkpoint_every=args.every, checkpoint_store=store,
-        resume=True, **run_kwargs,
-    )
-    final = assemble_global_f(results)
-    exact = np.array_equal(final, reference.f)
+        resume=True, **spec_kwargs,
+    ))
+    exact = np.array_equal(result.f, reference.f)
     print(f"  resumed from step {good.step}, finished at phase "
           f"{args.phases}; bit-exact vs uninterrupted run: {exact}")
     if not exact:

@@ -24,12 +24,8 @@ from repro.lbm.diagnostics import (
     density_profile,
     velocity_profile,
 )
+from repro.api import RunSpec, run
 from repro.lbm.solver import MulticomponentLBM
-from repro.parallel.driver import (
-    assemble_global_f,
-    run_parallel_lbm,
-    solver_from_results,
-)
 
 N_RANKS = 4
 PHASES = 3000  # enough for the 2-D profile to develop (H^2/nu ~ 10k; the
@@ -47,15 +43,15 @@ def main() -> None:
 
     print(f"running {PHASES} phases on {N_RANKS} in-process ranks "
           f"(rank {SLOW_RANK} slowed to 35%)...")
-    results = run_parallel_lbm(
-        N_RANKS,
-        config,
-        PHASES,
+    result = run(RunSpec(
+        config=config,
+        phases=PHASES,
+        ranks=N_RANKS,
         policy="filtered",
         remap_config=RemappingConfig(interval=10, history=10),
         load_time_fn=load_fn,
-    )
-    by_rank = sorted(results, key=lambda r: r.rank)
+    ))
+    by_rank = sorted(result.rank_results, key=lambda r: r.rank)
     print("final planes per rank:", [r.plane_count for r in by_rank])
     print(f"slow rank evacuated to {by_rank[SLOW_RANK].plane_count} plane(s), "
           f"sent {by_rank[SLOW_RANK].planes_sent} away")
@@ -63,11 +59,11 @@ def main() -> None:
     # --- bitwise physics check -------------------------------------------
     sequential = MulticomponentLBM(config)
     sequential.run(PHASES)
-    identical = np.array_equal(assemble_global_f(results), sequential.f)
+    identical = np.array_equal(result.f, sequential.f)
     print(f"parallel field bitwise equal to sequential: {identical}")
 
     # --- the paper's observables ------------------------------------------
-    solver = solver_from_results(results, config)
+    solver = result.solver()
     water = density_profile(solver, "water")
     slip = apparent_slip_fraction(velocity_profile(solver))
     print(f"water density wall/bulk: "

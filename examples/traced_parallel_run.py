@@ -10,6 +10,7 @@ straight from the trace file.
 
     python examples/traced_parallel_run.py [--trace run.jsonl]
         [--ranks 4] [--phases 200] [--backend fused]
+        [--transport threads|processes]
 
 Inspect the result afterwards with:
 
@@ -20,11 +21,11 @@ Inspect the result afterwards with:
 import argparse
 import dataclasses
 
+from repro.api import RunSpec, run
 from repro.core import RemappingConfig
 from repro.experiments.slip_sim import SlipScenario
 from repro.obs.report import render_summary
 from repro.obs.sink import read_trace
-from repro.parallel.driver import run_parallel_lbm
 
 SLOW_RANK = 1
 
@@ -37,6 +38,9 @@ def main() -> None:
     parser.add_argument("--phases", type=int, default=200)
     parser.add_argument("--backend", default="fused",
                         choices=("fused", "reference"))
+    parser.add_argument("--transport", default="threads",
+                        choices=("threads", "processes"),
+                        help="parallel transport (default threads)")
     args = parser.parse_args()
 
     scenario = SlipScenario(shape=(16, 42), steps=args.phases,
@@ -49,19 +53,20 @@ def main() -> None:
         t = points * 1e-6
         return t / 0.35 if rank == SLOW_RANK else t
 
-    print(f"running {args.phases} phases on {args.ranks} ranks "
-          f"({args.backend} backend, rank {SLOW_RANK} slowed to 35%), "
+    print(f"running {args.phases} phases on {args.ranks} {args.transport} "
+          f"ranks ({args.backend} backend, rank {SLOW_RANK} slowed to 35%), "
           f"tracing to {args.trace}...")
-    results = run_parallel_lbm(
-        args.ranks,
-        config,
-        args.phases,
+    result = run(RunSpec(
+        config=config,
+        phases=args.phases,
+        ranks=args.ranks,
+        transport=args.transport,
         policy="filtered",
         remap_config=RemappingConfig(interval=10, history=10),
         load_time_fn=load_fn,
         trace_path=args.trace,
-    )
-    by_rank = sorted(results, key=lambda r: r.rank)
+    ))
+    by_rank = sorted(result.rank_results, key=lambda r: r.rank)
     print("final planes per rank:", [r.plane_count for r in by_rank])
 
     events = read_trace(args.trace)

@@ -12,6 +12,9 @@ Subpackages
 - :mod:`repro.cluster` — virtual-time non-dedicated-cluster simulator
   used to regenerate the performance evaluation.
 - :mod:`repro.experiments` — one harness per table/figure of the paper.
+- :mod:`repro.api` — the unified run facade: build a :class:`RunSpec`,
+  call :func:`repro.api.run`, get a :class:`RunResult` — sequential or
+  parallel, threads or processes.
 
 The most common entry points are re-exported here.
 """
@@ -46,7 +49,8 @@ from repro.cluster import (
     fixed_slow_traces,
     transient_spike_traces,
 )
-from repro.parallel import run_parallel_lbm
+from repro.parallel import CommunicatorTimeout, run_parallel_lbm
+from repro.api import RunResult, RunSpec, run
 
 __version__ = "1.0.0"
 
@@ -80,5 +84,10 @@ __all__ = [
     "fixed_slow_traces",
     "transient_spike_traces",
     # parallel
+    "CommunicatorTimeout",
     "run_parallel_lbm",
+    # api
+    "RunSpec",
+    "RunResult",
+    "run",
 ]

@@ -4,6 +4,7 @@ rule with :mod:`repro.analysis.core`."""
 from repro.analysis.checkers.atomicwrite import AtomicWriteChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.dtype import DtypeDisciplineChecker
+from repro.analysis.checkers.envaccess import EnvAccessChecker
 from repro.analysis.checkers.hotpath import HotPathAllocChecker
 from repro.analysis.checkers.sharedwrite import SharedWriteChecker
 
@@ -11,6 +12,7 @@ __all__ = [
     "AtomicWriteChecker",
     "DeterminismChecker",
     "DtypeDisciplineChecker",
+    "EnvAccessChecker",
     "HotPathAllocChecker",
     "SharedWriteChecker",
 ]

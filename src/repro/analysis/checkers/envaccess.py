@@ -1,0 +1,88 @@
+"""REP006 — environment variables are read in one place only.
+
+Every ``REPRO_*`` knob used to be parsed wherever it was consumed —
+the backend registry read ``REPRO_LBM_BACKEND``, the observer read
+``REPRO_OBS_TRACE``, the checkpoint policy read four ``REPRO_CKPT_*``
+variables, each with its own truthiness rules and defaults.  Scattered
+parsing is how two modules disagree about what ``REPRO_CKPT_RESUME=On``
+means, and how a new variable ships without appearing in any inventory.
+:mod:`repro.config` is now the single funnel: it owns the variable
+names, the parsing, and the :class:`~repro.config.EnvConfig` snapshot
+that :func:`repro.api.run` overlays onto a ``RunSpec``.
+
+Flagged everywhere except ``repro/config.py``:
+
+- any mention of ``os.environ`` (reads, writes, ``.get``, ``in`` tests —
+  the attribute access itself is the violation);
+- calls to ``os.getenv`` / ``os.putenv`` / ``os.unsetenv``;
+- ``from os import environ`` / ``from os import getenv`` (aliased or
+  not), which would smuggle the primitives past the dotted-name check.
+
+Modules that need a value import :func:`repro.config.from_env` (or the
+``ENV_*`` name constants); entry points that must *publish* discovery
+variables for child code use :func:`repro.config.set_discovery_env`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers._astutil import dotted_name
+from repro.analysis.core import Checker, FileContext, Finding, register_checker
+
+#: The single module allowed to touch the process environment.
+ALLOWED_MODULES = frozenset({"repro/config.py"})
+
+#: ``os`` members that read or mutate the environment.
+BANNED_OS_MEMBERS = frozenset({"environ", "environb", "getenv", "putenv", "unsetenv"})
+
+
+@register_checker
+class EnvAccessChecker(Checker):
+    rule = "REP006"
+    title = "environment access goes through repro.config"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.rel_path not in ALLOWED_MODULES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                yield from self._check_attribute(ctx, node)
+            elif isinstance(node, ast.ImportFrom):
+                yield from self._check_import(ctx, node)
+
+    def _check_attribute(
+        self, ctx: FileContext, node: ast.Attribute
+    ) -> Iterator[Finding]:
+        # Only the innermost `os.<member>` node: `os.environ.get(...)`
+        # walks three attribute nodes but is one access.
+        if not (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "os"
+            and node.attr in BANNED_OS_MEMBERS
+        ):
+            return
+        dotted = dotted_name(node) or f"os.{node.attr}"
+        yield self.finding(
+            ctx,
+            node,
+            f"direct environment access via {dotted}; parse REPRO_* "
+            "variables in repro.config (from_env / set_discovery_env) "
+            "so every module agrees on names, truthiness and defaults",
+        )
+
+    def _check_import(
+        self, ctx: FileContext, node: ast.ImportFrom
+    ) -> Iterator[Finding]:
+        if node.module != "os":
+            return
+        for alias in node.names:
+            if alias.name in BANNED_OS_MEMBERS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`from os import {alias.name}` bypasses repro.config; "
+                    "import repro.config.from_env instead",
+                )

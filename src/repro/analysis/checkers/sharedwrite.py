@@ -65,6 +65,9 @@ SANCTIONED: dict[str, frozenset[str]] = {
     "repro/parallel/migration.py": frozenset(
         {"pack_planes", "unpack_planes"}
     ),
+    "repro/parallel/process.py": frozenset(
+        {"_Link.pull_bytes", "_rank_entry"}
+    ),
 }
 
 #: Functions always exempt: they run before the object escapes its

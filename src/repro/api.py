@@ -1,0 +1,220 @@
+"""The one documented entry point: describe a run, then run it.
+
+A :class:`RunSpec` is a frozen description of everything a run needs —
+the physics configuration, phase count, rank count and transport,
+remapping policy, checkpoint policy, observability — and :func:`run`
+executes it, dispatching to the sequential solver (``ranks == 1``) or
+the parallel driver (``ranks > 1``) on either transport::
+
+    from repro.api import RunSpec, run
+
+    spec = RunSpec(config=cfg, phases=1000, ranks=4, transport="processes")
+    result = run(spec)
+    result.f          # global populations (C, Q, nx, *cross)
+    result.solver()   # a sequential solver holding the final state
+
+Environment overlay: unset dispatch fields are filled from the
+``REPRO_*`` variables via :func:`repro.config.from_env` (transport from
+``REPRO_TRANSPORT``, checkpointing from the ``REPRO_CKPT_*`` family);
+explicit spec values always win.  The legacy entry points —
+:func:`repro.parallel.driver.run_parallel_lbm`, the experiments runner's
+CLI flags — are deprecation shims that build a ``RunSpec`` and land
+here, so every path through the library executes the same code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+import repro.config as config_mod
+from repro.core.policies import RemappingConfig
+from repro.lbm.solver import LBMConfig, MulticomponentLBM
+from repro.obs.observer import NULL_OBSERVER, ObserverLike
+from repro.parallel.driver import (
+    LoadTimeFn,
+    ParallelRunResult,
+    _run_parallel,
+    _spec_observer,
+    assemble_global_f,
+    solver_from_results,
+)
+
+__all__ = ["RunSpec", "RunResult", "run"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Complete, immutable description of one solver run.
+
+    Sequential runs (``ranks == 1``, the default) execute on the
+    in-process :class:`~repro.lbm.solver.MulticomponentLBM`; parallel
+    runs (``ranks > 1``) on the slab-decomposed driver over the chosen
+    *transport*.  Fields left at their defaults are overlaid from the
+    environment by :func:`run` (see :mod:`repro.config`).
+    """
+
+    #: Physics/geometry configuration (shared by every rank).
+    config: LBMConfig
+    #: Total phase target.  With ``resume=True`` this is absolute: a
+    #: restored run executes only the remainder.
+    phases: int
+    #: 1 = sequential solver; > 1 = parallel slab decomposition.
+    ranks: int = 1
+    #: ``"threads"`` | ``"processes"`` | None (environment, then threads).
+    transport: str | None = None
+    #: Kernel-backend override; None keeps ``config.backend``.
+    backend: str | None = None
+    #: Remapping policy name (parallel): filtered/conservative/global/no-remap.
+    policy: str = "filtered"
+    remap_config: RemappingConfig | None = None
+    #: Synthetic per-phase load index for remapping tests (parallel only).
+    load_time_fn: LoadTimeFn | None = None
+    #: Initial planes per rank (parallel only); None splits evenly.
+    initial_counts: tuple[int, ...] | None = None
+    observer: ObserverLike = field(default=NULL_OBSERVER)
+    #: Write a self-contained JSONL trace here (exclusive with observer).
+    trace_path: str | None = None
+    #: Explicit checkpoint store, or a directory from which one is built.
+    checkpoint_store: Any = None
+    checkpoint_dir: str | Path | None = None
+    checkpoint_every: int = 0
+    checkpoint_keep: int = 3
+    resume: bool = False
+    #: Fault-injection plan (:class:`repro.ckpt.FaultPlan`; parallel only).
+    faults: Any = None
+    #: Wall-clock limit for the rank world (parallel only).
+    timeout: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.phases < 0:
+            raise ValueError(f"phases must be >= 0, got {self.phases}")
+        if self.ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {self.ranks}")
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.initial_counts is not None:
+            object.__setattr__(
+                self, "initial_counts", tuple(int(n) for n in self.initial_counts)
+            )
+        if self.checkpoint_store is not None and self.checkpoint_dir is not None:
+            raise ValueError(
+                "pass either checkpoint_store or checkpoint_dir, not both"
+            )
+
+    def resolved_config(self) -> LBMConfig:
+        """The configuration with this spec's backend override applied."""
+        if self.backend is None or self.backend == self.config.backend:
+            return self.config
+        return dataclasses.replace(self.config, backend=self.backend)
+
+
+@dataclass
+class RunResult:
+    """What :func:`run` returns, transport- and mode-agnostic.
+
+    ``f`` is always the **global** population array ``(C, Q, nx,
+    *cross)``; ``rank_results`` carries the per-rank
+    :class:`~repro.parallel.driver.ParallelRunResult` records for
+    parallel runs (``None`` for sequential ones).
+    """
+
+    spec: RunSpec
+    config: LBMConfig
+    f: np.ndarray
+    rank_results: list[ParallelRunResult] | None = None
+    _solver: Any = None
+
+    def solver(self) -> MulticomponentLBM:
+        """A sequential solver holding the run's final state, so the
+        full diagnostics toolbox (profiles, slip measures, exporters)
+        applies to any run's output."""
+        if self._solver is None:
+            self._solver = solver_from_results(self.rank_results, self.config)
+        return self._solver
+
+
+def _store_for(spec: RunSpec, config: LBMConfig) -> Any:
+    """The spec's checkpoint store: explicit, or built per-config under
+    ``checkpoint_dir`` (same fingerprint-keyed layout as the
+    ``REPRO_CKPT_DIR`` discovery path)."""
+    if spec.checkpoint_store is not None:
+        return spec.checkpoint_store
+    if spec.checkpoint_dir is None:
+        return None
+    from repro.ckpt.policy import CheckpointPolicy
+
+    policy = CheckpointPolicy(
+        root=Path(spec.checkpoint_dir),
+        every=spec.checkpoint_every,
+        resume=spec.resume,
+        keep_last=spec.checkpoint_keep,
+    )
+    return policy.store_for(config)
+
+
+def run(spec: RunSpec) -> RunResult:
+    """Execute *spec* and return a :class:`RunResult`.
+
+    Applies the environment overlay, resolves the backend and the
+    checkpoint store once, then dispatches on ``spec.ranks``.
+    """
+    spec = config_mod.from_env().overlay(spec)
+    config = spec.resolved_config()
+    store = _store_for(spec, config)
+    if spec.resume and store is None:
+        raise ValueError("resume=True needs a checkpoint_store or checkpoint_dir")
+    if spec.ranks == 1:
+        for name in ("load_time_fn", "faults", "initial_counts"):
+            if getattr(spec, name) is not None:
+                raise ValueError(f"{name} requires ranks > 1")
+        return _run_sequential(spec, config, store)
+    results = _run_parallel(spec, config, store)
+    return RunResult(
+        spec=spec,
+        config=config,
+        f=assemble_global_f(results),
+        rank_results=results,
+    )
+
+
+def execute_parallel(spec: RunSpec) -> list[ParallelRunResult]:
+    """Run *spec* on the parallel driver regardless of ``ranks`` (the
+    shim behind the deprecated ``run_parallel_lbm``, whose historical
+    contract runs a 1-rank *parallel* world rather than the sequential
+    solver) and return the raw per-rank results."""
+    spec = config_mod.from_env().overlay(spec)
+    config = spec.resolved_config()
+    return _run_parallel(spec, config, _store_for(spec, config))
+
+
+def _run_sequential(
+    spec: RunSpec, config: LBMConfig, store: Any
+) -> RunResult:
+    obs, owns_observer = _spec_observer(spec)
+    try:
+        solver = MulticomponentLBM(config, observer=obs)
+        if spec.resume:
+            manifest = store.latest_good()
+            if manifest is not None:
+                store.restore_solver(solver, manifest=manifest)
+        remaining = max(0, spec.phases - solver.step_count)
+        solver.run(
+            remaining,
+            checkpoint_every=spec.checkpoint_every if store is not None else 0,
+            checkpoint_store=store,
+        )
+        if obs.enabled:
+            obs.emit_metrics()
+    finally:
+        if owns_observer:
+            obs.close()
+    return RunResult(
+        spec=spec, config=config, f=solver.f, rank_results=None, _solver=solver
+    )

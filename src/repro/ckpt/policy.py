@@ -26,7 +26,6 @@ hash — a resumed experiment finds exactly its own checkpoints.
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -34,17 +33,17 @@ from typing import TYPE_CHECKING
 from repro.ckpt.io import sha256_bytes
 from repro.ckpt.manifest import config_fingerprint
 from repro.ckpt.store import CheckpointStore
+from repro.config import (
+    ENV_CKPT_DIR as ENV_DIR,
+    ENV_CKPT_EVERY as ENV_EVERY,
+    ENV_CKPT_KEEP as ENV_KEEP,
+    ENV_CKPT_RESUME as ENV_RESUME,
+    from_env,
+)
 from repro.obs.observer import NULL_OBSERVER, ObserverLike
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.lbm.solver import LBMConfig
-
-ENV_DIR = "REPRO_CKPT_DIR"
-ENV_EVERY = "REPRO_CKPT_EVERY"
-ENV_RESUME = "REPRO_CKPT_RESUME"
-ENV_KEEP = "REPRO_CKPT_KEEP"
-
-_TRUTHY = {"1", "true", "yes", "on"}
 
 
 def fingerprint_key(config: "LBMConfig") -> str:
@@ -79,15 +78,15 @@ class CheckpointPolicy:
         )
 
 
-def policy_from_env(environ=os.environ) -> CheckpointPolicy | None:
+def policy_from_env(environ=None) -> CheckpointPolicy | None:
     """The process-default policy, or ``None`` when ``REPRO_CKPT_DIR``
-    is unset/empty."""
-    path = str(environ.get(ENV_DIR, "")).strip()
-    if not path:
+    is unset/empty (parsing delegated to :func:`repro.config.from_env`)."""
+    env = from_env(environ)
+    if env.ckpt_dir is None:
         return None
-    every = int(str(environ.get(ENV_EVERY, "0")).strip() or 0)
-    resume = str(environ.get(ENV_RESUME, "")).strip().lower() in _TRUTHY
-    keep_last = int(str(environ.get(ENV_KEEP, "3")).strip() or 3)
     return CheckpointPolicy(
-        root=Path(path), every=every, resume=resume, keep_last=keep_last
+        root=Path(env.ckpt_dir),
+        every=env.ckpt_every,
+        resume=env.ckpt_resume,
+        keep_last=env.ckpt_keep,
     )

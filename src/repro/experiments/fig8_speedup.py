@@ -9,6 +9,11 @@ stays near 90% below four slow nodes and ~80% at five.
 
 from __future__ import annotations
 
+import os
+import time
+
+import numpy as np
+
 from repro.cluster.machine import paper_cluster
 from repro.cluster.metrics import normalized_efficiency
 from repro.cluster.simulator import simulate
@@ -110,4 +115,95 @@ def dedicated_speedup_sweep(
         title="Dedicated speedup sweep",
         text=text,
         data={"nodes": list(node_counts), "speedups": speedups},
+    )
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def transports_run(
+    fast: bool = False,
+    *,
+    phases: int = 120,
+    shape: tuple[int, int] = (96, 42),
+    rank_counts: tuple[int, ...] = (1, 2, 4),
+) -> Report:
+    """Figure 8 companion on *real* hardware: wall-clock time of the
+    identical parallel run on both transports.
+
+    The figures proper use the virtual-time cluster simulator (the paper
+    ran on a 20-node Linux cluster we do not have); this experiment times
+    the actual driver — threads, which serialize numerics under the GIL,
+    against forked processes exchanging halos through shared memory,
+    where the speedup is bounded by the CPUs actually available.
+    """
+    from repro.api import RunSpec, run as api_run
+    from repro.lbm.components import ComponentSpec
+    from repro.lbm.geometry import ChannelGeometry
+    from repro.lbm.lattice import D2Q9
+    from repro.lbm.solver import LBMConfig
+
+    if fast:
+        phases = max(20, phases // 4)
+        shape = (48, 22)
+
+    cfg = LBMConfig(
+        geometry=ChannelGeometry(shape=shape, wall_axes=(1,)),
+        components=(
+            ComponentSpec("water", tau=1.0, rho_init=1.0),
+            ComponentSpec("air", tau=1.0, rho_init=0.03),
+        ),
+        g_matrix=np.array([[0.0, 0.9], [0.9, 0.0]]),
+        lattice=D2Q9,
+        body_acceleration=(1e-6, 0.0),
+        backend="fused",
+    )
+
+    cpus = _available_cpus()
+    times: dict[str, dict[int, float]] = {"threads": {}, "processes": {}}
+    rows = []
+    for ranks in rank_counts:
+        row: list[object] = [ranks]
+        for transport in ("threads", "processes"):
+            start = time.perf_counter()
+            api_run(
+                RunSpec(
+                    config=cfg,
+                    phases=phases,
+                    ranks=ranks,
+                    transport=transport,
+                    policy="no-remap",
+                )
+            )
+            elapsed = time.perf_counter() - start
+            times[transport][ranks] = elapsed
+            row.append(elapsed)
+        row.append(times["threads"][ranks] / times["processes"][ranks])
+        rows.append(tuple(row))
+
+    text = format_table(
+        ["ranks", "threads [s]", "processes [s]", "threads/processes"],
+        rows,
+        title=(
+            f"{phases} phases, grid {shape}, fused backend, "
+            f"{cpus} CPU(s) available — process-transport speedup is "
+            f"bounded by the CPU count"
+        ),
+        float_fmt="{:.3f}",
+    )
+    return Report(
+        name="fig8-transport",
+        title="Wall-clock per-transport timing of the parallel driver",
+        text=text,
+        data={
+            "cpus": cpus,
+            "phases": phases,
+            "rank_counts": list(rank_counts),
+            "threads_s": [times["threads"][r] for r in rank_counts],
+            "processes_s": [times["processes"][r] for r in rank_counts],
+        },
     )

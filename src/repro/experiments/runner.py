@@ -15,12 +15,13 @@ longest).
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 import time
 from collections.abc import Callable
 
-from repro.obs.observer import TRACE_ENV_VAR, observer_from_env
+from repro.config import set_discovery_env
+from repro.obs.observer import observer_from_env
+from repro.parallel.launch import TRANSPORTS
 
 from repro.experiments import (
     ext_adaptation,
@@ -44,6 +45,7 @@ EXPERIMENTS: dict[str, Callable[..., Report]] = {
     "fig6": fig6_density.run,
     "fig7": fig7_velocity.run,
     "fig8": fig8_speedup.run,
+    "fig8-transport": fig8_speedup.transports_run,
     "fig9": fig9_profile.run,
     "fig10": fig10_schemes.run,
     "table1": table1_spikes.run,
@@ -61,6 +63,7 @@ ORDER = (
     "fig6",
     "fig7",
     "fig8",
+    "fig8-transport",
     "fig9",
     "fig10",
     "table1",
@@ -100,6 +103,17 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--transport",
+        choices=TRANSPORTS,
+        default=None,
+        help=(
+            "parallel transport for every run in the process: 'threads' "
+            "(in-process emulated ranks, the default) or 'processes' "
+            "(forked ranks over shared memory; equivalent to "
+            "REPRO_TRANSPORT=processes)"
+        ),
+    )
+    parser.add_argument(
         "--checkpoint-dir",
         metavar="DIR",
         default=None,
@@ -127,20 +141,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.trace:
-        # The instrumented layers discover the observer through the
-        # environment, so experiment code needs no plumbing.
-        os.environ[TRACE_ENV_VAR] = args.trace
     if (args.checkpoint_every or args.resume) and not args.checkpoint_dir:
         parser.error("--checkpoint-every/--resume need --checkpoint-dir")
-    if args.checkpoint_dir:
-        # Same discovery idiom as tracing: solvers consult REPRO_CKPT_*
-        # (see repro.ckpt.policy), so experiment code needs no plumbing.
-        from repro.ckpt.policy import ENV_DIR, ENV_EVERY, ENV_RESUME
-
-        os.environ[ENV_DIR] = args.checkpoint_dir
-        os.environ[ENV_EVERY] = str(args.checkpoint_every)
-        os.environ[ENV_RESUME] = "1" if args.resume else "0"
+    # CLI flags are published as the same REPRO_* discovery variables a
+    # user could have exported, so the instrumented layers (observer,
+    # checkpoint policy, transport resolution) pick them up without any
+    # per-experiment plumbing.
+    set_discovery_env(
+        trace=args.trace,
+        transport=args.transport,
+        ckpt_dir=args.checkpoint_dir,
+        ckpt_every=args.checkpoint_every if args.checkpoint_dir else None,
+        ckpt_resume=args.resume if args.checkpoint_dir else None,
+    )
     obs = observer_from_env()
 
     names = list(ORDER) if "all" in args.experiments else args.experiments

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import RunSpec
+from repro.api import run as api_run
 from repro.core.policies import RemappingConfig
 from repro.experiments.report import Report
 from repro.lbm.components import ComponentSpec
@@ -17,7 +19,6 @@ from repro.lbm.geometry import ChannelGeometry
 from repro.lbm.lattice import D2Q9
 from repro.lbm.diagnostics import velocity_profile
 from repro.lbm.solver import LBMConfig, MulticomponentLBM
-from repro.parallel.driver import assemble_global_f, run_parallel_lbm
 from repro.util.tables import format_table
 
 
@@ -75,15 +76,17 @@ def parallel_equivalence(
             t = points * 1e-6
             return t / 0.35 if rank == 1 else t
 
-    results = run_parallel_lbm(
-        n_ranks,
-        cfg,
-        phases,
-        policy=policy,
-        remap_config=remap_config,
-        load_time_fn=load_fn,
+    result = api_run(
+        RunSpec(
+            config=cfg,
+            phases=phases,
+            ranks=n_ranks,
+            policy=policy,
+            remap_config=remap_config,
+            load_time_fn=load_fn,
+        )
     )
-    return bool(np.array_equal(assemble_global_f(results), sequential.f))
+    return bool(np.array_equal(result.f, sequential.f))
 
 
 def run(fast: bool = False) -> Report:

@@ -31,11 +31,11 @@ checks) happens here at construction time, never per step.
 from __future__ import annotations
 
 import abc
-import os
 from typing import TYPE_CHECKING, Callable, ClassVar
 
 import numpy as np
 
+from repro.config import ENV_BACKEND, from_env
 from repro.lbm.lattice import Lattice
 from repro.lbm.shan_chen import validate_g_matrix
 from repro.obs.observer import NULL_OBSERVER, ObserverLike
@@ -44,7 +44,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (solver imports us)
     from repro.lbm.solver import LBMConfig
 
 #: Environment variable consulted when a config does not name a backend.
-BACKEND_ENV_VAR = "REPRO_LBM_BACKEND"
+#: Parsed by :mod:`repro.config`; re-exported here for compatibility.
+BACKEND_ENV_VAR = ENV_BACKEND
 
 #: Fallback when neither the config nor the environment chooses.
 DEFAULT_BACKEND = "reference"
@@ -76,7 +77,7 @@ def resolve_backend_name(name: str | None = None) -> str:
     either channel fail loudly at configuration time.
     """
     if name is None:
-        name = os.environ.get(BACKEND_ENV_VAR, "").strip() or DEFAULT_BACKEND
+        name = from_env().backend or DEFAULT_BACKEND
     if name not in _REGISTRY:
         raise ValueError(
             f"unknown LBM backend {name!r}; available: {available_backends()}"

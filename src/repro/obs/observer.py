@@ -20,16 +20,17 @@ instrumented constructors (solver, parallel driver, cluster simulator).
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 from typing import Any
 
+from repro.config import ENV_TRACE, from_env
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.sink import EventSink, JsonlSink, MemorySink
 from repro.util.timers import Timer
 
 #: Environment variable: path of the JSONL trace to write (empty = off).
-TRACE_ENV_VAR = "REPRO_OBS_TRACE"
+#: Parsed by :mod:`repro.config`; re-exported here for compatibility.
+TRACE_ENV_VAR = ENV_TRACE
 
 #: Bucket bounds for span-duration histograms (seconds).
 SPAN_BOUNDS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
@@ -187,15 +188,16 @@ class Observer:
 _env_observers: dict[str, Observer] = {}
 
 
-def observer_from_env(environ=os.environ) -> Observer | NullObserver:
+def observer_from_env(environ=None) -> Observer | NullObserver:
     """The process-default observer.
 
-    Returns :data:`NULL_OBSERVER` unless ``REPRO_OBS_TRACE`` names a
-    trace path, in which case one :class:`Observer` per distinct path is
-    created (and cached, so several solvers in one process append to a
-    single trace rather than truncating each other).
+    Returns :data:`NULL_OBSERVER` unless ``REPRO_OBS_TRACE`` (parsed by
+    :func:`repro.config.from_env`) names a trace path, in which case one
+    :class:`Observer` per distinct path is created (and cached, so
+    several solvers in one process append to a single trace rather than
+    truncating each other).
     """
-    path = str(environ.get(TRACE_ENV_VAR, "")).strip()
+    path = from_env(environ).trace
     if not path:
         return NULL_OBSERVER
     key = str(Path(path))

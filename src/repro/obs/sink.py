@@ -18,13 +18,26 @@ from pathlib import Path
 
 
 class EventSink:
-    """Base sink: orders events and hands them to :meth:`_write`."""
+    """Base sink: orders events and hands them to :meth:`_write`.
 
-    def __init__(self, clock=time.perf_counter):
+    *t0* pins the timestamp origin explicitly.  The default
+    (``perf_counter`` at construction) is right for a single process;
+    sinks created in forked rank processes pass the parent sink's
+    :attr:`t0` so their timestamps share one origin — on Linux
+    ``perf_counter`` is ``CLOCK_MONOTONIC``, comparable across
+    processes — and :meth:`absorb` can merge the events into one trace.
+    """
+
+    def __init__(self, clock=time.perf_counter, t0: float | None = None):
         self._clock = clock
-        self._t0 = clock()
+        self._t0 = clock() if t0 is None else t0
         self._seq = 0
         self._lock = threading.Lock()
+
+    @property
+    def t0(self) -> float:
+        """The clock reading all ``ts`` stamps are relative to."""
+        return self._t0
 
     def emit(self, event: dict) -> dict:
         """Stamp *event* with ``seq``/``ts`` and record it; returns the
@@ -36,6 +49,18 @@ class EventSink:
             self._write(event)
         return event
 
+    def absorb(self, events: list[dict]) -> None:
+        """Merge already-timestamped *events* (from a rank process's
+        sink sharing this sink's *t0*) into this sink: each keeps its
+        ``ts`` but is assigned the next ``seq`` here, so the combined
+        trace still has a single total order.  Pre-sort by ``ts`` when
+        interleaving several ranks' event lists."""
+        with self._lock:
+            for event in events:
+                event["seq"] = self._seq
+                self._seq += 1
+                self._write(event)
+
     def _write(self, event: dict) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
@@ -44,10 +69,11 @@ class EventSink:
 
 
 class MemorySink(EventSink):
-    """Keeps events in a list — the test and report-building sink."""
+    """Keeps events in a list — the test and report-building sink, and
+    the per-rank collection sink of the process transport."""
 
-    def __init__(self, clock=time.perf_counter):
-        super().__init__(clock)
+    def __init__(self, clock=time.perf_counter, t0: float | None = None):
+        super().__init__(clock, t0=t0)
         self.events: list[dict] = []
 
     def _write(self, event: dict) -> None:
@@ -62,8 +88,13 @@ class JsonlSink(EventSink):
     so a crashed run still leaves a readable prefix.
     """
 
-    def __init__(self, path: str | Path, clock=time.perf_counter):
-        super().__init__(clock)
+    def __init__(
+        self,
+        path: str | Path,
+        clock=time.perf_counter,
+        t0: float | None = None,
+    ):
+        super().__init__(clock, t0=t0)
         self.path = Path(path)
         self._fh: io.TextIOBase | None = None
 

@@ -3,15 +3,29 @@ with ghost planes, halo exchange, plane migration, and the parallel LBM
 driver mirroring the paper's Figure 2 pseudocode.
 
 mpi4py and a physical cluster are unavailable in this reproduction, so
-ranks run as threads inside one process (emulated multi-node) exchanging
-real numpy buffers through blocking channels.  The protocol — who sends
-which directions to which neighbour, where the two synchronization points
-sit, how planes migrate — is exactly the paper's; only the transport is
-in-process.
+the world runs inside one machine on either of two transports sharing
+one :class:`Communicator` contract: ``threads`` (ranks are threads
+exchanging numpy buffers through blocking channels — emulated
+multi-node, zero startup cost) and ``processes`` (ranks are forked
+processes moving array payloads through shared-memory rings — real
+multi-core execution).  The protocol — who sends which directions to
+which neighbour, where the two synchronization points sit, how planes
+migrate — is exactly the paper's; only the transport is swappable (see
+:mod:`repro.parallel.launch` and ``REPRO_TRANSPORT``).
 """
 
-from repro.parallel.api import Communicator, ReceivedMessage
+from repro.parallel.api import (
+    Communicator,
+    CommunicatorTimeout,
+    ReceivedMessage,
+)
 from repro.parallel.threads import ThreadCommunicator, LocalCluster, run_spmd
+from repro.parallel.process import (
+    ProcessCluster,
+    ProcessCommunicator,
+    run_spmd_processes,
+)
+from repro.parallel.launch import TRANSPORTS, launch_spmd, resolve_transport
 from repro.parallel.decomposition import SlabDecomposition, slab_shape
 from repro.parallel.halo import HaloExchanger
 from repro.parallel.migration import pack_planes, unpack_planes
@@ -19,10 +33,17 @@ from repro.parallel.driver import ParallelLBM, ParallelRunResult, run_parallel_l
 
 __all__ = [
     "Communicator",
+    "CommunicatorTimeout",
     "ReceivedMessage",
     "ThreadCommunicator",
     "LocalCluster",
     "run_spmd",
+    "ProcessCluster",
+    "ProcessCommunicator",
+    "run_spmd_processes",
+    "TRANSPORTS",
+    "launch_spmd",
+    "resolve_transport",
     "SlabDecomposition",
     "slab_shape",
     "HaloExchanger",

@@ -13,6 +13,44 @@ from dataclasses import dataclass
 from typing import Any, Hashable
 
 
+class CommunicatorTimeout(TimeoutError):
+    """A blocking receive gave up waiting.
+
+    Raised by every transport (threads *and* processes) with the same
+    diagnostic fields, so a hung protocol names the rank, the peer and
+    the tag it was waiting on instead of dying as an anonymous
+    ``queue.Empty``/``TimeoutError`` sixty seconds later.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        source: int,
+        tag: Hashable,
+        timeout: float,
+        transport: str = "threads",
+    ):
+        self.rank = rank
+        self.source = source
+        self.tag = tag
+        self.timeout = timeout
+        self.transport = transport
+        super().__init__(
+            f"rank {rank} timed out after {timeout:g}s waiting for "
+            f"(source={source}, tag={tag!r}) on the {transport} transport; "
+            f"rank {source} may have died, deadlocked, or never sent"
+        )
+
+    def __reduce__(self):
+        # Default exception pickling replays only super().__init__'s
+        # single string; rebuild from the diagnostic fields instead so
+        # the error survives a trip through a result queue.
+        return (
+            type(self),
+            (self.rank, self.source, self.tag, self.timeout, self.transport),
+        )
+
+
 @dataclass(frozen=True)
 class ReceivedMessage:
     """A delivered message (source rank + payload)."""

@@ -18,8 +18,10 @@ index (the physics is unaffected — only the remapping decisions see it).
 from __future__ import annotations
 
 import time
+import warnings
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -51,12 +53,12 @@ from repro.obs.observer import (
     ObserverLike,
     resolve_observer,
 )
-from repro.obs.sink import JsonlSink
+from repro.obs.sink import JsonlSink, MemorySink
 from repro.parallel.api import Communicator
 from repro.parallel.decomposition import SlabDecomposition
 from repro.parallel.halo import HaloExchanger
+from repro.parallel.launch import launch_spmd, resolve_transport
 from repro.parallel.migration import pack_planes, unpack_planes
-from repro.parallel.threads import run_spmd
 from repro.util.validation import check_integer
 
 #: Load-index hook: (rank, phase, points) -> seconds.
@@ -799,52 +801,45 @@ class ParallelLBM:
         )
 
 
-def run_parallel_lbm(
-    n_ranks: int,
-    config: LBMConfig,
-    phases: int,
-    *,
-    policy: str = "filtered",
-    remap_config: RemappingConfig | None = None,
-    load_time_fn: LoadTimeFn | None = None,
-    initial_counts: list[int] | None = None,
-    timeout: float = 600.0,
-    observer: ObserverLike = NULL_OBSERVER,
-    trace_path: str | None = None,
-    checkpoint_every: int = 0,
-    checkpoint_store=None,
-    resume: bool = False,
-    faults=None,
-) -> list[ParallelRunResult]:
-    """Run the parallel LBM on an in-process cluster of *n_ranks* threads.
+def _spec_observer(spec: Any) -> tuple[ObserverLike, bool]:
+    """Resolve a RunSpec's observer/trace_path pair to a concrete
+    observer; the bool says whether this run owns (must close) it."""
+    observer = spec.observer
+    if spec.trace_path is not None:
+        if observer is not None and observer is not NULL_OBSERVER:
+            raise ValueError("pass either observer or trace_path, not both")
+        return Observer(sink=JsonlSink(spec.trace_path)), True
+    return resolve_observer(observer), False
 
-    Returns the per-rank results in rank order; use
-    :func:`assemble_global_f` to reconstruct the global field.
 
-    Observability: pass an enabled :class:`repro.obs.Observer` (shared
-    sink; each rank gets a rank-stamped child), or *trace_path* to write
-    a self-contained JSONL trace (``run_start`` metadata, per-phase
-    timings and halo bytes, remap/migration events, a final metrics
-    snapshot).  With neither, the ``REPRO_OBS_TRACE`` environment
-    variable is consulted; unset means zero instrumentation overhead.
+def _slot_bytes_for(config: LBMConfig) -> int:
+    """Shared-memory ring slot size for a process-transport run: one
+    full population plane (every component, every direction), so a halo
+    message is a single-chunk transfer and a k-plane migration package
+    takes k slots."""
+    plane_cells = int(np.prod(config.geometry.shape[1:]))
+    plane_bytes = config.n_components * config.lattice.Q * plane_cells * 8
+    return min(max(plane_bytes, 1 << 12), 1 << 26)
 
-    Checkpointing (see :mod:`repro.ckpt`): pass a shared
-    :class:`~repro.ckpt.CheckpointStore` plus ``checkpoint_every`` to
-    snapshot periodically.  With ``resume=True``, *phases* is the TOTAL
-    phase target: the ranks restore the latest good generation (if any)
-    and run only the remainder — bit-exactly continuing the interrupted
-    run.  *faults* (a :class:`~repro.ckpt.FaultPlan`) injects failures
-    for recovery testing; injected :class:`~repro.ckpt.InjectedFault`
-    errors surface from the cluster wrapped in ``RuntimeError``.
-    """
+
+def _run_parallel(spec: Any, config: LBMConfig, store: Any) -> list[ParallelRunResult]:
+    """Execute a parallel RunSpec (the engine behind
+    :func:`repro.api.run`; *config* is the spec's backend-resolved
+    configuration and *store* its resolved checkpoint store)."""
+    n_ranks = spec.ranks
+    phases = spec.phases
     total_planes = config.geometry.shape[0]
+    transport = resolve_transport(spec.transport)
 
+    initial_counts = (
+        list(spec.initial_counts) if spec.initial_counts is not None else None
+    )
     resume_manifest = None
     phases_to_run = phases
-    if resume:
-        if checkpoint_store is None:
+    if spec.resume:
+        if store is None:
             raise ValueError("resume=True needs a checkpoint_store")
-        resume_manifest = checkpoint_store.latest_good()
+        resume_manifest = store.latest_good()
         if resume_manifest is not None:
             check_fingerprint(resume_manifest, config)
             phases_to_run = max(0, phases - resume_manifest.step)
@@ -860,50 +855,161 @@ def run_parallel_lbm(
             raise ValueError("more ranks than planes")
         initial_counts = [base + (1 if r < extra else 0) for r in range(n_ranks)]
 
-    owns_observer = False
-    if trace_path is not None:
-        if observer is not None and observer is not NULL_OBSERVER:
-            raise ValueError("pass either observer or trace_path, not both")
-        observer = Observer(sink=JsonlSink(trace_path))
-        owns_observer = True
-    obs = resolve_observer(observer)
+    obs, owns_observer = _spec_observer(spec)
     if obs.enabled:
         obs.emit(
             "run_start",
             n_ranks=n_ranks,
+            transport=transport,
             backend=config.backend,
-            policy=policy,
+            policy=spec.policy,
             shape=list(config.geometry.shape),
             n_components=config.n_components,
             phases=phases,
             initial_counts=list(initial_counts),
         )
 
-    def rank_main(comm: Communicator) -> ParallelRunResult:
+    # Rank processes cannot share the parent's sink object, so under the
+    # process transport each rank collects events in a MemorySink pinned
+    # to the parent sink's clock origin (perf_counter is CLOCK_MONOTONIC
+    # on Linux — one time base across processes) and ships them back
+    # with its result; the parent merges them by timestamp.
+    fork_obs = transport == "processes" and obs.enabled
+    parent_t0 = obs.sink.t0 if fork_obs else 0.0
+
+    def rank_main(comm: Communicator):
+        rank_obs: ObserverLike = obs
+        rank_sink = None
+        if fork_obs:
+            rank_sink = MemorySink(t0=parent_t0)
+            rank_obs = Observer(sink=rank_sink)
         driver = ParallelLBM(
             comm,
             config,
             list(initial_counts),
-            policy=policy,
-            remap_config=remap_config,
-            load_time_fn=load_time_fn,
-            observer=obs,
-            checkpoint_every=checkpoint_every,
-            checkpoint_store=checkpoint_store,
-            faults=faults,
+            policy=spec.policy,
+            remap_config=spec.remap_config,
+            load_time_fn=spec.load_time_fn,
+            observer=rank_obs,
+            checkpoint_every=spec.checkpoint_every,
+            checkpoint_store=store,
+            faults=spec.faults,
         )
         if resume_manifest is not None:
             driver.restore_checkpoint(manifest=resume_manifest)
-        return driver.run(phases_to_run)
+        result = driver.run(phases_to_run)
+        if rank_sink is not None:
+            # This rank's metrics snapshot, emitted unbound (no rank key)
+            # exactly like the thread transport's single shared snapshot,
+            # so per-rank event schemas are transport-independent.
+            rank_obs.emit_metrics()
+            return result, rank_sink.events
+        return result
 
     try:
-        results = run_spmd(n_ranks, rank_main, timeout=timeout)
-        if obs.enabled:
-            obs.emit_metrics()
+        raw = launch_spmd(
+            n_ranks,
+            rank_main,
+            transport=transport,
+            timeout=spec.timeout,
+            slot_bytes=_slot_bytes_for(config),
+        )
+        if fork_obs:
+            results = [result for result, _ in raw]
+            merged = sorted(
+                (event for _, events in raw for event in events),
+                key=lambda event: event.get("ts", 0.0),
+            )
+            obs.sink.absorb(merged)
+        else:
+            results = raw
+            if obs.enabled:
+                obs.emit_metrics()
         return results
     finally:
         if owns_observer:
             obs.close()
+
+
+def run_parallel_lbm(
+    n_ranks: int,
+    config: LBMConfig,
+    phases: int,
+    *,
+    transport: str | None = None,
+    policy: str = "filtered",
+    remap_config: RemappingConfig | None = None,
+    load_time_fn: LoadTimeFn | None = None,
+    initial_counts: list[int] | None = None,
+    timeout: float = 600.0,
+    observer: ObserverLike = NULL_OBSERVER,
+    trace_path: str | None = None,
+    checkpoint_every: int = 0,
+    checkpoint_store=None,
+    resume: bool = False,
+    faults=None,
+) -> list[ParallelRunResult]:
+    """Run the parallel LBM on an in-process cluster of *n_ranks* ranks.
+
+    .. deprecated::
+        This is a thin shim over the :mod:`repro.api` facade — build a
+        :class:`repro.api.RunSpec` and call :func:`repro.api.run`
+        instead.  Every keyword maps 1:1 onto a RunSpec field and the
+        results are identical.
+
+    *transport* selects ``"threads"`` or ``"processes"`` (default: the
+    ``REPRO_TRANSPORT`` environment variable, then threads).  Returns
+    the per-rank results in rank order; use :func:`assemble_global_f`
+    to reconstruct the global field.
+
+    Observability: pass an enabled :class:`repro.obs.Observer` (shared
+    sink; each rank gets a rank-stamped child), or *trace_path* to write
+    a self-contained JSONL trace (``run_start`` metadata, per-phase
+    timings and halo bytes, remap/migration events, metrics snapshots).
+    With neither, the ``REPRO_OBS_TRACE`` environment variable is
+    consulted; unset means zero instrumentation overhead.
+
+    Checkpointing (see :mod:`repro.ckpt`): pass a shared
+    :class:`~repro.ckpt.CheckpointStore` plus ``checkpoint_every`` to
+    snapshot periodically.  With ``resume=True``, *phases* is the TOTAL
+    phase target: the ranks restore the latest good generation (if any)
+    and run only the remainder — bit-exactly continuing the interrupted
+    run.  *faults* (a :class:`~repro.ckpt.FaultPlan`) injects failures
+    for recovery testing; injected :class:`~repro.ckpt.InjectedFault`
+    errors surface from the cluster wrapped in ``RuntimeError``.
+    """
+    warnings.warn(
+        "run_parallel_lbm is deprecated; build a repro.api.RunSpec and "
+        "call repro.api.run(spec)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro import api
+
+    spec = api.RunSpec(
+        config=config,
+        phases=phases,
+        ranks=n_ranks,
+        transport=transport,
+        policy=policy,
+        remap_config=remap_config,
+        load_time_fn=load_time_fn,
+        initial_counts=(
+            tuple(initial_counts) if initial_counts is not None else None
+        ),
+        timeout=timeout,
+        observer=observer,
+        trace_path=trace_path,
+        checkpoint_every=checkpoint_every,
+        checkpoint_store=checkpoint_store,
+        resume=resume,
+        faults=faults,
+    )
+    if n_ranks == 1:
+        # Legacy semantics: a 1-rank *parallel-driver* run (the facade
+        # would dispatch ranks=1 to the sequential solver instead).
+        return api.execute_parallel(spec)
+    return api.run(spec).rank_results
 
 
 def assemble_global_f(results: list[ParallelRunResult]) -> np.ndarray:

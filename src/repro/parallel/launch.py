@@ -1,0 +1,71 @@
+"""Transport-agnostic SPMD launching.
+
+One function, :func:`launch_spmd`, runs an SPMD rank function on either
+world fabric:
+
+``threads``
+    :class:`repro.parallel.threads.LocalCluster` — ranks are threads in
+    this process.  Zero startup cost, shared memory by construction,
+    but compute serializes on the GIL outside NumPy kernels.
+``processes``
+    :class:`repro.parallel.process.ProcessCluster` — ranks are forked
+    processes exchanging array payloads through shared-memory rings.
+    Real multi-core execution.
+
+Unspecified transport resolves through ``REPRO_TRANSPORT`` (see
+:mod:`repro.config`), defaulting to ``threads``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.parallel.process import DEFAULT_SLOT_BYTES, ProcessCluster
+from repro.parallel.threads import LocalCluster
+
+#: The recognised transport names.
+TRANSPORTS = ("threads", "processes")
+
+DEFAULT_TRANSPORT = "threads"
+
+
+def resolve_transport(name: str | None = None) -> str:
+    """Resolve an explicit/None transport name to a known one.
+
+    Resolution order: explicit *name* -> ``$REPRO_TRANSPORT`` ->
+    ``"threads"``.  Unknown names fail loudly at launch time.
+    """
+    if name is None:
+        from repro.config import from_env
+
+        name = from_env().transport or DEFAULT_TRANSPORT
+    if name not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {name!r}; available: {list(TRANSPORTS)}"
+        )
+    return name
+
+
+def launch_spmd(
+    size: int,
+    fn: Callable[..., Any],
+    *,
+    transport: str | None = None,
+    rank_args: list[tuple] | None = None,
+    timeout: float | None = 300.0,
+    slot_bytes: int = DEFAULT_SLOT_BYTES,
+) -> list[Any]:
+    """Run *fn* as ``fn(comm, *rank_args[rank])`` on every rank of a
+    fresh *size*-rank world of the chosen transport; returns per-rank
+    results in rank order.
+
+    *slot_bytes* sizes the process transport's shared-memory ring slots
+    (ignored by threads); pass the bulk-message size so array transfers
+    are single-chunk.
+    """
+    transport = resolve_transport(transport)
+    if transport == "threads":
+        return LocalCluster(size).run(fn, rank_args=rank_args, timeout=timeout)
+    cluster = ProcessCluster(size, slot_bytes=slot_bytes)
+    return cluster.run(fn, rank_args=rank_args, timeout=timeout)

@@ -13,7 +13,7 @@ from collections import defaultdict
 from collections.abc import Callable
 from typing import Any, Hashable
 
-from repro.parallel.api import Communicator
+from repro.parallel.api import Communicator, CommunicatorTimeout
 from repro.util.validation import check_integer
 
 
@@ -68,9 +68,8 @@ class ThreadCommunicator(Communicator):
             try:
                 got_tag, payload = chan.get(timeout=timeout)
             except queue.Empty:
-                raise TimeoutError(
-                    f"rank {self._rank} timed out waiting for "
-                    f"(source={source}, tag={tag!r})"
+                raise CommunicatorTimeout(
+                    self._rank, source, tag, timeout, transport="threads"
                 ) from None
             if got_tag == tag:
                 return payload

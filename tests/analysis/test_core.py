@@ -22,6 +22,7 @@ def test_registry_has_all_rules():
         "REP003",
         "REP004",
         "REP005",
+        "REP006",
     }
     assert all(rules.values()), "every rule needs a title"
 

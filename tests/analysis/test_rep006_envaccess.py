@@ -1,0 +1,105 @@
+"""REP006: environment access routes through repro.config."""
+
+from __future__ import annotations
+
+
+def _rep006(report):
+    return [f for f in report.unsuppressed if f.rule == "REP006"]
+
+
+def test_os_environ_read_is_flagged(analyze):
+    report = analyze(
+        """\
+        import os
+
+        def backend():
+            return os.environ.get("REPRO_LBM_BACKEND", "reference")
+        """,
+        rules=["REP006"],
+    )
+    assert len(_rep006(report)) == 1
+
+
+def test_os_environ_write_and_subscript_are_flagged(analyze):
+    report = analyze(
+        """\
+        import os
+
+        def publish(path):
+            os.environ["REPRO_OBS_TRACE"] = path
+            return os.environ["REPRO_OBS_TRACE"]
+        """,
+        rules=["REP006"],
+    )
+    assert len(_rep006(report)) == 2
+
+
+def test_os_getenv_and_putenv_are_flagged(analyze):
+    report = analyze(
+        """\
+        import os
+
+        def peek():
+            os.putenv("REPRO_TRANSPORT", "threads")
+            return os.getenv("REPRO_TRANSPORT")
+        """,
+        rules=["REP006"],
+    )
+    assert len(_rep006(report)) == 2
+
+
+def test_from_os_import_environ_is_flagged(analyze):
+    report = analyze(
+        """\
+        from os import environ, getenv
+
+        def peek():
+            return environ.get("X") or getenv("Y")
+        """,
+        rules=["REP006"],
+    )
+    # Both smuggled imports flagged (the bare `environ.get` afterwards has
+    # no `os.` prefix, which is exactly why the import itself must be).
+    assert len(_rep006(report)) == 2
+
+
+def test_other_os_members_pass(analyze):
+    report = analyze(
+        """\
+        import os
+
+        def cpus():
+            return len(os.sched_getaffinity(0)) or os.cpu_count()
+        """,
+        rules=["REP006"],
+    )
+    assert _rep006(report) == []
+
+
+def test_repro_config_is_exempt(analyze):
+    source = """\
+        import os
+
+        def from_env():
+            return os.environ.get("REPRO_TRANSPORT")
+        """
+    report = analyze(source, rel="repro/config.py", rules=["REP006"])
+    report = analyze(source, rel="repro/other/knobs.py", rules=["REP006"])
+    by_path = {f.path for f in _rep006(report)}
+    assert "repro/config.py" not in by_path
+    assert "repro/other/knobs.py" in by_path
+
+
+def test_suppression_with_reason_silences(analyze):
+    report = analyze(
+        """\
+        import os
+
+        def fixture_env():
+            # repro: allow[REP006] -- test fixture manipulates raw env
+            os.environ["REPRO_TRANSPORT"] = "processes"
+        """,
+        rules=["REP006"],
+    )
+    assert _rep006(report) == []
+    assert [f.rule for f in report.suppressed] == ["REP006"]

@@ -1,0 +1,185 @@
+"""The multi-process shared-memory transport in isolation: the
+communicator contract (ordering, stashing, chunking, collectives), its
+failure modes (timeouts, dead ranks), and the cluster lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.api import CommunicatorTimeout
+from repro.parallel.process import (
+    ProcessCluster,
+    run_spmd_processes,
+)
+
+
+class TestExchange:
+    def test_ring_exchange_roundtrips_arrays(self):
+        def fn(comm):
+            payload = np.full((3, 4), float(comm.rank), dtype=np.float64)
+            comm.send((comm.rank + 1) % comm.size, "ring", payload)
+            received = comm.recv((comm.rank - 1) % comm.size, "ring")
+            return float(received[0, 0])
+
+        results = run_spmd_processes(3, fn)
+        assert results == [2.0, 0.0, 1.0]
+
+    def test_arrays_cross_bit_exact_and_owned(self):
+        rng = np.random.default_rng(42)
+        original = rng.random((2, 9, 12, 7))
+
+        def fn(comm, arr):
+            if comm.rank == 0:
+                comm.send(1, "blob", arr)
+                return True
+            received = comm.recv(0, "blob")
+            # The received array is a private copy the rank may mutate.
+            received[0, 0, 0, 0] = -1.0
+            return bool(np.array_equal(received[1:], arr[1:]))
+
+        results = run_spmd_processes(2, fn, rank_args=[(original,), (original,)])
+        assert results == [True, True]
+
+    def test_large_array_chunks_through_small_slots(self):
+        # 1.6 MB through 4 KiB slots: many ring chunks per message.
+        big = np.arange(200_000, dtype=np.float64)
+
+        def fn(comm, arr):
+            if comm.rank == 0:
+                comm.send(1, "big", arr)
+                return True
+            return bool(np.array_equal(comm.recv(0, "big"), arr))
+
+        results = run_spmd_processes(
+            2, fn, rank_args=[(big,), (big,)], slot_bytes=4096
+        )
+        assert results == [True, True]
+
+    def test_non_array_payloads_pickle_through(self):
+        # Small dict inline through the pipe; large blob through the ring.
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(1, "meta", {"planes": [3, 4], "phase": 7})
+                comm.send(1, "blob", b"x" * 100_000)
+                return True
+            meta = comm.recv(0, "meta")
+            blob = comm.recv(0, "blob")
+            return meta["phase"] == 7 and len(blob) == 100_000
+
+        assert run_spmd_processes(2, fn) == [True, True]
+
+    def test_out_of_order_tags_are_stashed(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(1, "first", np.array([1.0]))
+                comm.send(1, "second", np.array([2.0]))
+                return 0.0
+            # Receive in the opposite order: "second" must be stashed
+            # while draining toward it, then "first" served from stash.
+            second = comm.recv(0, "second")[0]
+            first = comm.recv(0, "first")[0]
+            return second * 10 + first
+
+        assert run_spmd_processes(2, fn)[1] == 21.0
+
+    def test_allgather_and_barrier(self):
+        def fn(comm):
+            comm.barrier()
+            gathered = comm.allgather(comm.rank * 2, "ag")
+            comm.barrier()
+            return gathered
+
+        results = run_spmd_processes(4, fn)
+        assert results == [[0, 2, 4, 6]] * 4
+
+
+class TestFailures:
+    def test_recv_timeout_is_communicator_timeout(self):
+        def fn(comm):
+            if comm.rank == 1:
+                try:
+                    comm.recv(0, "never", timeout=0.3)
+                except CommunicatorTimeout as e:
+                    # The structured fields survive the trip back to the
+                    # parent (the exception is pickle-safe by design).
+                    return (e.rank, e.source, e.tag, e.timeout, e.transport)
+            return None
+
+        results = run_spmd_processes(2, fn)
+        assert results[1] == (1, 0, "never", 0.3, "processes")
+
+    def test_timeout_message_names_source_and_tag(self):
+        def fn(comm):
+            if comm.rank == 1:
+                try:
+                    comm.recv(0, "ghost", timeout=0.2)
+                except CommunicatorTimeout as e:
+                    return str(e)
+            return ""
+
+        results = run_spmd_processes(2, fn)
+        assert "source=0" in results[1]
+        assert "ghost" in results[1]
+        assert "processes" in results[1]
+
+    def test_rank_error_surfaces_with_description(self):
+        def fn(comm):
+            if comm.rank == 2:
+                raise ValueError("specific failure")
+            comm.recv((comm.rank + 1) % 3, "never", timeout=30.0)
+            return True
+
+        with pytest.raises(RuntimeError, match="rank 2") as exc:
+            run_spmd_processes(3, fn)
+        assert "specific failure" in str(exc.value)
+
+    def test_dead_rank_process_is_detected(self):
+        # A rank that dies without reporting (os._exit skips cleanup and
+        # the result queue) must not hang the collector.
+        def fn(comm):
+            if comm.rank == 0:
+                import os
+
+                os._exit(3)
+            comm.recv(0, "never", timeout=60.0)
+            return True
+
+        with pytest.raises(RuntimeError, match="rank 0") as exc:
+            run_spmd_processes(2, fn, timeout=30.0)
+        assert "exitcode" in str(exc.value)
+
+    def test_join_timeout_reports_deadlock(self):
+        def fn(comm):
+            try:
+                comm.recv(1 - comm.rank, "never", timeout=30.0)
+            except TimeoutError:
+                pass
+            return True
+
+        with pytest.raises(TimeoutError, match="deadlock"):
+            ProcessCluster(2).run(fn, timeout=1.0)
+
+
+class TestClusterLifecycle:
+    def test_cluster_is_single_use(self):
+        cluster = ProcessCluster(2)
+        assert cluster.run(lambda comm: comm.rank) == [0, 1]
+        with pytest.raises(RuntimeError, match="already ran"):
+            cluster.run(lambda comm: comm.rank)
+
+    def test_shared_memory_is_released(self):
+        # After a run (success or failure) no /dev/shm segments leak.
+        import glob
+
+        before = set(glob.glob("/dev/shm/*"))
+        run_spmd_processes(3, lambda comm: comm.allgather(comm.rank, "ag"))
+        with pytest.raises(RuntimeError):
+            run_spmd_processes(2, _exploder)
+        after = set(glob.glob("/dev/shm/*"))
+        assert after - before == set()
+
+    def test_size_one_world_works(self):
+        assert run_spmd_processes(1, lambda comm: comm.allgather("x", "t")) == [["x"]]
+
+
+def _exploder(comm):
+    raise RuntimeError("boom")

@@ -1,0 +1,162 @@
+"""Thread and process transports must be observationally identical:
+the same :class:`repro.api.RunSpec` produces bit-identical physics with
+remapping active on both kernel backends, the same observability trace
+structure, and the same checkpoint/resume behaviour under injected
+rank-process deaths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import RunSpec, run
+from repro.ckpt import CheckpointStore, FaultPlan
+from repro.core.policies import RemappingConfig
+from repro.lbm.components import ComponentSpec
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import D2Q9
+from repro.lbm.solver import LBMConfig, MulticomponentLBM
+from repro.obs.sink import read_trace
+
+
+def config(nx=16, ny=10, backend="reference"):
+    return LBMConfig(
+        geometry=ChannelGeometry(shape=(nx, ny), wall_axes=(1,)),
+        components=(
+            ComponentSpec("water", tau=1.0, rho_init=1.0),
+            ComponentSpec("air", tau=1.0, rho_init=0.03),
+        ),
+        g_matrix=np.array([[0.0, 0.9], [0.9, 0.0]]),
+        lattice=D2Q9,
+        body_acceleration=(1e-6, 0.0),
+        backend=backend,
+    )
+
+
+def skewed_load(rank, phase, points):
+    """Rank-dependent speeds so the remapper actually moves planes."""
+    return points * (1.0 + 0.5 * rank)
+
+
+def remap_spec(cfg, phases, transport, **kwargs):
+    return RunSpec(
+        config=cfg,
+        phases=phases,
+        ranks=3,
+        transport=transport,
+        policy="filtered",
+        remap_config=RemappingConfig(interval=4),
+        load_time_fn=skewed_load,
+        **kwargs,
+    )
+
+
+class TestBitIdenticalPhysics:
+    @pytest.mark.parametrize("backend", ["reference", "fused"])
+    def test_transports_agree_with_remapping_active(self, backend):
+        """The acceptance differential: same spec, both transports,
+        remapping migrating planes mid-run, both kernel backends —
+        fields bit-identical to each other and to the sequential
+        solver."""
+        cfg = config(backend=backend)
+        seq = MulticomponentLBM(cfg)
+        seq.run(12)
+
+        threaded = run(remap_spec(cfg, 12, "threads"))
+        forked = run(remap_spec(cfg, 12, "processes"))
+
+        assert np.array_equal(threaded.f, forked.f)
+        assert np.array_equal(forked.f, seq.f)
+
+    def test_plane_ownership_maps_agree(self):
+        cfg = config()
+        threaded = run(remap_spec(cfg, 12, "threads"))
+        forked = run(remap_spec(cfg, 12, "processes"))
+
+        def ownership(result):
+            return sorted(
+                (r.rank, r.plane_start, r.plane_count, r.planes_sent)
+                for r in result.rank_results
+            )
+
+        assert ownership(threaded) == ownership(forked)
+
+    def test_process_trace_carries_per_rank_events(self, tmp_path):
+        """The observer merge: forked ranks record into private sinks
+        whose events land, re-sequenced, in the parent's trace — the
+        same per-rank structure the threads transport produces."""
+        trace = tmp_path / "run.jsonl"
+        run(remap_spec(config(), 8, "processes", trace_path=str(trace)))
+        events = read_trace(str(trace))
+
+        starts = [e for e in events if e["type"] == "run_start"]
+        assert [e["transport"] for e in starts] == ["processes"]
+        phase_ranks = {e["rank"] for e in events if e["type"] == "phase"}
+        assert phase_ranks == {0, 1, 2}
+        # every rank's per-phase record made it through the merge
+        assert sum(e["type"] == "phase" for e in events) == 3 * 8
+        assert sum(e["type"] == "metrics" for e in events) == 3
+        # absorb() re-stamps sequence numbers: strictly increasing.
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+
+class TestProcessFaultTolerance:
+    def test_killed_rank_process_resumes_bit_exact(self, tmp_path):
+        """A rank process dying mid-run surfaces as a job failure; the
+        resumed job restores the last good checkpoint generation and
+        finishes bit-exact with an uninterrupted sequential run."""
+        cfg = config()
+        seq = MulticomponentLBM(cfg)
+        seq.run(16)
+
+        store = CheckpointStore(tmp_path / "ckpt")
+        with pytest.raises(RuntimeError, match="injected fault"):
+            run(remap_spec(
+                cfg,
+                16,
+                "processes",
+                checkpoint_every=4,
+                checkpoint_store=store,
+                faults=FaultPlan.kill_rank(1, 10),
+                timeout=60.0,
+            ))
+        assert store.latest_good().step == 8
+
+        result = run(remap_spec(
+            cfg,
+            16,
+            "processes",
+            checkpoint_every=4,
+            checkpoint_store=store,
+            resume=True,
+        ))
+        assert np.array_equal(result.f, seq.f)
+
+    def test_whole_job_kill_on_processes_resumes_bit_exact(self, tmp_path):
+        cfg = config()
+        seq = MulticomponentLBM(cfg)
+        seq.run(20)
+
+        store = CheckpointStore(tmp_path / "ckpt")
+        with pytest.raises(RuntimeError, match="injected fault"):
+            run(remap_spec(
+                cfg,
+                20,
+                "processes",
+                checkpoint_every=4,
+                checkpoint_store=store,
+                faults=FaultPlan.kill_job(13),
+                timeout=60.0,
+            ))
+        assert store.latest_good().step == 12
+
+        result = run(remap_spec(
+            cfg,
+            20,
+            "processes",
+            checkpoint_every=4,
+            checkpoint_store=store,
+            resume=True,
+        ))
+        assert np.array_equal(result.f, seq.f)
