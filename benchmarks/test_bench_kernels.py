@@ -1,13 +1,19 @@
 """Micro-benchmarks of the LBM hot-loop kernels (collision, streaming,
 S-C force, full phase) — the per-point costs that the cluster model's
-``cost_per_point`` abstracts.
+``cost_per_point`` abstracts — plus end-to-end batched-ensemble
+throughput.
 
-Every benchmark runs once per kernel backend (``reference`` and
-``fused``) so the backends are measured side by side; the per-point
-timings land in ``BENCH_kernels.json`` at the repository root, with the
-full-phase speedup of ``fused`` over ``reference`` computed when both
-are present.  Under ``--benchmark-disable`` the kernels still execute
-once (a smoke test) but no timings are recorded.
+Every kernel benchmark runs once per kernel backend (``reference``,
+``fused``, ``arrayapi``) so the backends are measured side by side; the
+per-point timings land in ``BENCH_kernels.json`` at the repository
+root, with the full-phase speedup of ``fused`` over ``reference``
+computed when both are present.  The ensemble benchmarks run a
+wall-force sweep of N members end to end — once stacked through the
+``batched`` backend, once as N sequential ``fused`` solver runs — and
+record µs per point per member step plus the scenarios-per-second
+throughput for each N, the amortisation curve of
+:mod:`repro.lbm.ensemble`.  Under ``--benchmark-disable`` everything
+still executes once (a smoke test) but no timings are recorded.
 """
 
 import json
@@ -17,14 +23,31 @@ import numpy as np
 import pytest
 
 from repro.lbm.components import ComponentSpec
+from repro.lbm.ensemble import EnsembleSpec, run_ensemble
 from repro.lbm.forces import WallForceSpec
 from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import D2Q9
 from repro.lbm.solver import LBMConfig, MulticomponentLBM
 
 SHAPE_3D = (32, 48, 12)
 POINTS = int(np.prod(SHAPE_3D))
-BACKENDS = ("reference", "fused")
+BACKENDS = ("reference", "fused", "arrayapi")
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+#: Ensemble benchmark scenario: a 2-D channel wall-force sweep.  The
+#: grid is deliberately small — parameter sweeps over many small
+#: scenarios are exactly where stacking amortises the per-call
+#: interpreter overhead that dominates a sequential sweep; on large
+#: grids both paths are memory-bound and converge to the same cost.
+ENSEMBLE_SIZES = (1, 4, 16, 64)
+ENSEMBLE_SHAPE = (12, 12)
+ENSEMBLE_POINTS = int(np.prod(ENSEMBLE_SHAPE))
+ENSEMBLE_STEPS = 64
+
+#: ``{N: {batched_us_per_point, sequential_us_per_point, ...}}``,
+#: filled by the ensemble benchmarks and folded into BENCH_kernels.json
+#: by the ``bench_record`` teardown.
+_ENSEMBLE_RESULTS: dict[int, dict[str, float]] = {}
 
 
 @pytest.fixture(scope="module")
@@ -33,19 +56,37 @@ def bench_record():
     and write BENCH_kernels.json when the module finishes."""
     results: dict[str, dict[str, float]] = {}
     yield results
-    if not results:
+    if not results and not _ENSEMBLE_RESULTS:
         return
     for timings in results.values():
-        if all(b in timings for b in BACKENDS):
+        if "reference" in timings and "fused" in timings:
             timings["speedup_vs_reference"] = round(
                 timings["reference"] / timings["fused"], 2
             )
+    sizes: dict[str, dict[str, float]] = {}
+    for n, vals in sorted(_ENSEMBLE_RESULTS.items()):
+        vals = dict(vals)
+        if "batched_us_per_point" in vals and "sequential_us_per_point" in vals:
+            vals["speedup_vs_sequential"] = round(
+                vals["sequential_us_per_point"] / vals["batched_us_per_point"],
+                2,
+            )
+        sizes[str(n)] = vals
     payload = {
         "shape": list(SHAPE_3D),
         "n_components": 2,
         "lattice": "D3Q19",
         "unit": "us_per_point",
         "benchmarks": results,
+        "batched": {
+            "shape": list(ENSEMBLE_SHAPE),
+            "lattice": "D2Q9",
+            "n_components": 2,
+            "steps": ENSEMBLE_STEPS,
+            "sweep": "wall_force_amplitude",
+            "sequential_backend": "fused",
+            "sizes": sizes,
+        },
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
@@ -137,3 +178,59 @@ def test_bench_full_phase(benchmark, backend_solver, bench_record):
     benchmark(solver.step)
     _record(bench_record, benchmark, "full_phase", name)
     benchmark.extra_info["paper_us_per_point_on_2003_xeon"] = 4.9
+
+
+# -------------------------------------------------------------- ensembles
+def _ensemble_spec(n: int) -> EnsembleSpec:
+    """A wall-force-amplitude sweep of *n* members (paper Figure 7's
+    slip-length control parameter)."""
+    base = LBMConfig(
+        geometry=ChannelGeometry(shape=ENSEMBLE_SHAPE),
+        components=(
+            ComponentSpec("water", tau=1.0, rho_init=1.0),
+            ComponentSpec("air", tau=1.0, rho_init=0.03),
+        ),
+        g_matrix=np.array([[0.0, 0.9], [0.9, 0.0]]),
+        lattice=D2Q9,
+        wall_force=WallForceSpec(amplitude=0.1),
+        body_acceleration=(2e-7, 0.0),
+        backend="fused",
+    )
+    amplitudes = [0.05 + 0.3 * i / max(n - 1, 1) for i in range(n)]
+    return EnsembleSpec.wall_force_sweep(base, amplitudes)
+
+
+@pytest.mark.parametrize("n", ENSEMBLE_SIZES)
+def test_bench_ensemble_batched(benchmark, bench_record, n):
+    """End-to-end batched sweep: construct the stacked engine and run
+    every member for ENSEMBLE_STEPS phases in one array pass per step."""
+    spec = _ensemble_spec(n)
+    benchmark(lambda: run_ensemble(spec, ENSEMBLE_STEPS))
+    if benchmark.stats is None:  # --benchmark-disable smoke run
+        return
+    mean = benchmark.stats["mean"]
+    us_per_point = mean / (n * ENSEMBLE_STEPS * ENSEMBLE_POINTS) * 1e6
+    row = _ENSEMBLE_RESULTS.setdefault(n, {})
+    row["batched_us_per_point"] = round(us_per_point, 4)
+    row["throughput_scenarios_per_s"] = round(n / mean, 2)
+    benchmark.extra_info["us_per_point"] = round(us_per_point, 4)
+
+
+@pytest.mark.parametrize("n", ENSEMBLE_SIZES)
+def test_bench_ensemble_sequential(benchmark, bench_record, n):
+    """The same sweep as N independent sequential ``fused`` solver runs —
+    the baseline the batched engine's throughput is judged against."""
+    spec = _ensemble_spec(n)
+
+    def run_all():
+        for i in range(n):
+            MulticomponentLBM(spec.member_config(i)).run(ENSEMBLE_STEPS)
+
+    benchmark(run_all)
+    if benchmark.stats is None:  # --benchmark-disable smoke run
+        return
+    mean = benchmark.stats["mean"]
+    us_per_point = mean / (n * ENSEMBLE_STEPS * ENSEMBLE_POINTS) * 1e6
+    row = _ENSEMBLE_RESULTS.setdefault(n, {})
+    row["sequential_us_per_point"] = round(us_per_point, 4)
+    row["sequential_throughput_scenarios_per_s"] = round(n / mean, 2)

@@ -50,7 +50,7 @@ from repro.cluster import (
     transient_spike_traces,
 )
 from repro.parallel import CommunicatorTimeout, run_parallel_lbm
-from repro.api import RunResult, RunSpec, run
+from repro.api import EnsembleRunResult, RunResult, RunSpec, run, run_batch
 
 __version__ = "1.0.0"
 
@@ -87,7 +87,9 @@ __all__ = [
     "CommunicatorTimeout",
     "run_parallel_lbm",
     # api
+    "EnsembleRunResult",
     "RunSpec",
     "RunResult",
     "run",
+    "run_batch",
 ]

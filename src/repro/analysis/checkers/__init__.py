@@ -2,6 +2,7 @@
 rule with :mod:`repro.analysis.core`."""
 
 from repro.analysis.checkers.atomicwrite import AtomicWriteChecker
+from repro.analysis.checkers.backendns import BackendNamespaceChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.dtype import DtypeDisciplineChecker
 from repro.analysis.checkers.envaccess import EnvAccessChecker
@@ -10,6 +11,7 @@ from repro.analysis.checkers.sharedwrite import SharedWriteChecker
 
 __all__ = [
     "AtomicWriteChecker",
+    "BackendNamespaceChecker",
     "DeterminismChecker",
     "DtypeDisciplineChecker",
     "EnvAccessChecker",

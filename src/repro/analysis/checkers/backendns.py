@@ -1,0 +1,85 @@
+"""REP007 — portable kernel backends never import numpy directly.
+
+The ``arrayapi`` and ``batched`` backends are written against the
+array-API namespace handle from :mod:`repro.lbm.backends.xp` so the
+same kernel source can run on NumPy today and an accelerator namespace
+(CuPy, torch) tomorrow.  One stray ``import numpy as np`` silently
+pins such a module back to the CPU: the code keeps passing every test
+under the default binding while the portability contract rots.
+
+Flagged in every module under ``repro/lbm/backends/`` **except** the
+explicit allowlist (the classic NumPy backends, the registry/ABC, the
+instrumentation proxy, and the namespace shim itself):
+
+- ``import numpy`` / ``import numpy.linalg`` (aliased or not);
+- ``from numpy import ...`` / ``from numpy.linalg import ...``.
+
+Portable backend modules call
+:func:`repro.lbm.backends.xp.get_namespace` and route every array
+operation through the returned handle (conventionally a local ``xp``),
+which the allocation/dtype rules police like numpy itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Checker, FileContext, Finding, register_checker
+
+#: The backends subtree the rule patrols.
+BACKENDS_PREFIX = "repro/lbm/backends/"
+
+#: Modules under the subtree that legitimately import numpy: the classic
+#: NumPy-only backends, the registry (validation arrays), the timing
+#: proxy, the package façade, and the namespace shim that *provides* the
+#: handle.
+ALLOWED_MODULES = frozenset(
+    {
+        "repro/lbm/backends/__init__.py",
+        "repro/lbm/backends/fused.py",
+        "repro/lbm/backends/instrumented.py",
+        "repro/lbm/backends/reference.py",
+        "repro/lbm/backends/registry.py",
+        "repro/lbm/backends/xp.py",
+    }
+)
+
+
+def _is_numpy_module(name: str | None) -> bool:
+    return name is not None and (name == "numpy" or name.startswith("numpy."))
+
+
+@register_checker
+class BackendNamespaceChecker(Checker):
+    rule = "REP007"
+    title = "portable backends use the array-API namespace handle"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return (
+            ctx.rel_path.startswith(BACKENDS_PREFIX)
+            and ctx.rel_path not in ALLOWED_MODULES
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if _is_numpy_module(alias.name):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"`import {alias.name}` pins this backend to "
+                            "the CPU; bind the array-API namespace via "
+                            "repro.lbm.backends.xp.get_namespace instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and _is_numpy_module(node.module):
+                    names = ", ".join(a.name for a in node.names)
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`from {node.module} import {names}` pins this "
+                        "backend to the CPU; bind the array-API namespace "
+                        "via repro.lbm.backends.xp.get_namespace instead",
+                    )

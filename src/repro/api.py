@@ -20,6 +20,13 @@ explicit spec values always win.  The legacy entry points —
 :func:`repro.parallel.driver.run_parallel_lbm`, the experiments runner's
 CLI flags — are deprecation shims that build a ``RunSpec`` and land
 here, so every path through the library executes the same code.
+
+Parameter sweeps: :func:`run_batch` takes a list of specs, groups the
+ones that differ only in the swept scalar knobs (coupling matrix, wall
+force amplitude, body force) into stacked ensembles executed by the
+``batched`` kernel backend (:mod:`repro.lbm.ensemble`), and runs the
+rest through :func:`run` — returning per-spec results, bit-identical to
+running each spec alone, in input order.
 """
 
 from __future__ import annotations
@@ -44,7 +51,7 @@ from repro.parallel.driver import (
     solver_from_results,
 )
 
-__all__ = ["RunSpec", "RunResult", "run"]
+__all__ = ["EnsembleRunResult", "RunSpec", "RunResult", "run", "run_batch"]
 
 
 @dataclass(frozen=True)
@@ -192,6 +199,184 @@ def execute_parallel(spec: RunSpec) -> list[ParallelRunResult]:
     spec = config_mod.from_env().overlay(spec)
     config = spec.resolved_config()
     return _run_parallel(spec, config, _store_for(spec, config))
+
+
+@dataclass
+class EnsembleRunResult(RunResult):
+    """A :class:`RunResult` produced by a batched-ensemble group.
+
+    ``rank_results`` is ``None`` (no parallel world ran); :meth:`solver`
+    rebuilds the sequential solver from the member's final populations
+    instead of rank records.  ``member`` carries the per-member ensemble
+    record (steps actually advanced, convergence flag, residual).
+    """
+
+    member: Any = None
+
+    def solver(self) -> MulticomponentLBM:
+        if self._solver is None:
+            solver = MulticomponentLBM(self.config)
+            steps = (
+                self.member.steps if self.member is not None else self.spec.phases
+            )
+            solver.restore_state(self.f, steps)
+            self._solver = solver
+        return self._solver
+
+
+def _ensemble_eligible(spec: RunSpec, config: LBMConfig) -> bool:
+    """Whether *spec* can join a batched-ensemble group: sequential, no
+    checkpoint/resume/fault/trace machinery (neither explicit nor
+    discovered from the environment), BGK collision, no wall adhesion."""
+    return (
+        spec.ranks == 1
+        and spec.checkpoint_store is None
+        and spec.checkpoint_dir is None
+        and not spec.resume
+        and spec.faults is None
+        and spec.trace_path is None
+        and spec.load_time_fn is None
+        and spec.initial_counts is None
+        and not spec.observer.enabled
+        and config_mod.from_env().ckpt_dir is None
+        and config.collision == "bgk"
+        and config.adhesion is None
+    )
+
+
+def _member_delta(base: LBMConfig, config: LBMConfig):
+    """The :class:`~repro.lbm.ensemble.MemberParams` turning *base* into
+    *config*, or ``None`` when they differ beyond the swept scalar knobs
+    (coupling matrix, wall-force amplitude, body acceleration)."""
+    from repro.lbm.ensemble import MemberParams
+
+    if (
+        base.geometry != config.geometry
+        or base.components != config.components
+        or base.lattice is not config.lattice
+        or base.psi is not config.psi
+        or base.collision != config.collision
+        or base.adhesion != config.adhesion
+    ):
+        return None
+    wall_amplitude = None
+    if (base.wall_force is None) != (config.wall_force is None):
+        return None
+    if base.wall_force is not None:
+        if (
+            base.wall_force.decay_length != config.wall_force.decay_length
+            or base.wall_force.component != config.wall_force.component
+        ):
+            return None
+        if base.wall_force.amplitude != config.wall_force.amplitude:
+            wall_amplitude = float(config.wall_force.amplitude)
+    body = None
+    if base.body_acceleration != config.body_acceleration:
+        if config.body_acceleration is None:
+            return None  # MemberParams cannot express "drop the body force"
+        body = tuple(config.body_acceleration)
+    g_matrix = None
+    if not np.array_equal(
+        np.asarray(base.g_matrix), np.asarray(config.g_matrix)
+    ):
+        g_matrix = np.asarray(config.g_matrix, dtype=np.float64)
+    return MemberParams(
+        g_matrix=g_matrix,
+        wall_amplitude=wall_amplitude,
+        body_acceleration=body,
+    )
+
+
+def run_batch(
+    specs: list[RunSpec] | tuple[RunSpec, ...],
+    *,
+    check_every: int = 0,
+    tol: float = 0.0,
+    observer: ObserverLike = NULL_OBSERVER,
+) -> list[RunResult]:
+    """Execute many specs, batching compatible ones into stacked
+    ensembles.
+
+    Specs that are sequential, carry no checkpoint/fault/trace
+    machinery, and differ only in the swept scalar knobs — coupling
+    matrix, wall-force amplitude, body acceleration — with equal phase
+    targets are grouped and advanced by the ``batched`` kernel backend
+    as one ``(N, C, Q, *S)`` array pass per step
+    (:func:`repro.lbm.ensemble.run_ensemble`).  Everything else falls
+    back to :func:`run`.  Results come back in input order and are
+    bit-identical to running each spec individually.
+
+    Parameters
+    ----------
+    check_every / tol:
+        Per-member early-exit: every *check_every* steps a member whose
+        mixture-velocity residual fell below *tol* is snapshotted and
+        retired from the batch (0 disables; see
+        :class:`repro.lbm.ensemble.BatchedEnsemble`).
+    observer:
+        Ensemble-level observability (per-kernel timings, active-member
+        gauge, aggregate µs/point) for the batched groups.
+    """
+    from repro.lbm.ensemble import EnsembleSpec, run_ensemble
+
+    specs = list(specs)
+    overlaid = [config_mod.from_env().overlay(s) for s in specs]
+    configs = [s.resolved_config() for s in overlaid]
+    results: list[RunResult | None] = [None] * len(specs)
+
+    grouped: list[list[tuple[int, Any]]] = []
+    assigned = [False] * len(specs)
+    for i in range(len(specs)):
+        if assigned[i] or not _ensemble_eligible(overlaid[i], configs[i]):
+            continue
+        from repro.lbm.ensemble import MemberParams
+
+        group: list[tuple[int, Any]] = [(i, MemberParams())]
+        assigned[i] = True
+        for j in range(i + 1, len(specs)):
+            if assigned[j] or not _ensemble_eligible(overlaid[j], configs[j]):
+                continue
+            if overlaid[j].phases != overlaid[i].phases:
+                continue
+            delta = _member_delta(configs[i], configs[j])
+            if delta is None:
+                continue
+            group.append((j, delta))
+            assigned[j] = True
+        grouped.append(group)
+
+    for group in grouped:
+        if len(group) == 1:
+            # A lone member gains nothing from batching; the plain path
+            # keeps every sequential behaviour.
+            idx = group[0][0]
+            results[idx] = run(specs[idx])
+            continue
+        base_idx = group[0][0]
+        ens_spec = EnsembleSpec(
+            base=configs[base_idx],
+            members=tuple(params for _, params in group),
+        )
+        ens_result = run_ensemble(
+            ens_spec,
+            overlaid[base_idx].phases,
+            check_every=check_every,
+            tol=tol,
+            observer=observer,
+        )
+        for (idx, _), member in zip(group, ens_result.members):
+            results[idx] = EnsembleRunResult(
+                spec=overlaid[idx],
+                config=configs[idx],
+                f=member.f,
+                rank_results=None,
+                member=member,
+            )
+
+    for i, spec in enumerate(specs):
+        if results[i] is None:
+            results[i] = run(spec)
+    return results
 
 
 def _run_sequential(

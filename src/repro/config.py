@@ -6,6 +6,9 @@ is parsed here into one immutable :class:`EnvConfig` snapshot:
 ``REPRO_LBM_BACKEND``
     Default kernel backend for configs that do not name one
     (:mod:`repro.lbm.backends.registry`).
+``REPRO_LBM_ARRAY_NS``
+    Array-API namespace binding for the array-API kernel backends
+    (:mod:`repro.lbm.backends.xp`); unset means NumPy.
 ``REPRO_OBS_TRACE``
     JSONL trace path enabling observability discovery
     (:mod:`repro.obs.observer`).
@@ -39,6 +42,7 @@ from dataclasses import dataclass
 from typing import Any
 
 ENV_BACKEND = "REPRO_LBM_BACKEND"
+ENV_ARRAY_NS = "REPRO_LBM_ARRAY_NS"
 ENV_TRACE = "REPRO_OBS_TRACE"
 ENV_TRANSPORT = "REPRO_TRANSPORT"
 ENV_CKPT_DIR = "REPRO_CKPT_DIR"
@@ -49,6 +53,7 @@ ENV_CKPT_KEEP = "REPRO_CKPT_KEEP"
 #: Every variable this module owns, for documentation and tests.
 ALL_ENV_VARS = (
     ENV_BACKEND,
+    ENV_ARRAY_NS,
     ENV_TRACE,
     ENV_TRANSPORT,
     ENV_CKPT_DIR,
@@ -73,6 +78,7 @@ class EnvConfig:
     """
 
     backend: str | None = None
+    array_namespace: str | None = None
     trace: str | None = None
     transport: str | None = None
     ckpt_dir: str | None = None
@@ -116,6 +122,7 @@ def from_env(environ: Mapping[str, str] | None = None) -> EnvConfig:
         environ = os.environ
     return EnvConfig(
         backend=_clean(environ, ENV_BACKEND) or None,
+        array_namespace=_clean(environ, ENV_ARRAY_NS) or None,
         trace=_clean(environ, ENV_TRACE) or None,
         transport=_clean(environ, ENV_TRANSPORT) or None,
         ckpt_dir=_clean(environ, ENV_CKPT_DIR) or None,

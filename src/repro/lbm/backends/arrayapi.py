@@ -1,0 +1,214 @@
+"""The ``arrayapi`` backend: reference kernels on the array-API standard.
+
+Every kernel — moments, equilibrium, Shan-Chen force, collision,
+streaming, bounce-back — is written against the array-API namespace
+handle from :mod:`repro.lbm.backends.xp` (bound to ``xp`` throughout),
+using only operations the standard specifies: ``tensordot``, ``roll``,
+``take``, ``where``, ``stack``, ``sum``, ``maximum``, elementwise
+arithmetic and in-place operators.  Under the default NumPy binding the
+arithmetic is the *same operation sequence* as the ``reference``
+backend, so the results are bit-identical (pinned by the exact-equality
+differential tests in ``tests/lbm/test_backends.py``); under a CuPy or
+torch binding the identical kernel source runs on the accelerator.
+
+Two reference idioms have no array-API spelling and are replaced by
+exact equivalents:
+
+- ``np.einsum("d...,d...->...", u, u)`` becomes the explicit
+  ``u[0]*u[0] + u[1]*u[1] (+ u[2]*u[2])`` — einsum accumulates the
+  contracted axis in index order, so the left-to-right sum is the same
+  float sequence;
+- the boolean-mask gather/scatter of bounce-back becomes
+  ``take`` + ``where`` — pure data movement, no arithmetic.
+
+This backend favours portability over allocation discipline (it keeps
+the reference's fresh temporaries); the ``batched`` backend is the
+allocation-free ensemble fast path.
+"""
+
+from __future__ import annotations
+
+from repro.lbm.backends.registry import KernelBackend, register_backend
+from repro.lbm.backends.xp import get_namespace
+
+
+@register_backend
+class ArrayAPIBackend(KernelBackend):
+    """Reference operation order, array-API namespace operations."""
+
+    name = "arrayapi"
+
+    def __init__(self, config, shape, solid_mask, *, namespace=None):
+        super().__init__(config, shape, solid_mask)
+        xp = get_namespace(namespace)
+        self.xp = xp
+        lat = self.lattice
+        # Lattice constants as namespace arrays (no-op copies on NumPy).
+        self._cf = xp.asarray(lat.cf, dtype=xp.float64)
+        self._cfT = xp.asarray(lat.cf.T, dtype=xp.float64)
+        self._w_col = xp.reshape(
+            xp.asarray(lat.w, dtype=xp.float64),
+            (lat.Q,) + (1,) * len(self.shape),
+        )
+        self._opp = xp.asarray(lat.opp)
+        self._solid = xp.asarray(self.solid_mask)
+        self._has_solid = bool(self.solid_mask.any())
+        self._inv_cs2 = 1.0 / lat.cs2
+        self._spatial_axes = tuple(range(lat.D))
+        self._moving = [int(k) for k in lat.moving]
+        self._shifts = {
+            k: tuple(int(s) for s in lat.shifts[k]) for k in range(lat.Q)
+        }
+        # (k, shift-of-opp, [(d, w_k * c_k[d]) for nonzero c_k[d]]) per
+        # moving direction, in lattice.moving order — the accumulation
+        # order of shifted_psi_sum, which the bitwise contract mirrors.
+        self._psi_terms = [
+            (
+                self._shifts[int(lat.opp[k])],
+                [
+                    (d, float(lat.w[k]) * float(lat.c[k, d]))
+                    for d in range(lat.D)
+                    if lat.c[k, d] != 0
+                ],
+            )
+            for k in self._moving
+        ]
+        self._g_rows = xp.asarray(self.g_matrix, dtype=xp.float64)
+        self._taus_f = [float(t) for t in self.taus]
+        self._masses_f = [float(m) for m in self.masses]
+        inv_tau = 1.0 / self.taus
+        self._inv_tau_col = xp.reshape(
+            xp.asarray(inv_tau, dtype=xp.float64),
+            (self.n_components,) + (1,) * len(self.shape),
+        )
+        self._feq = xp.zeros((lat.Q,) + self.shape, dtype=xp.float64)
+
+    # ------------------------------------------------------------ streaming
+    def stream(self, f):
+        xp = self.xp
+        for ci in range(f.shape[0]):
+            fc = f[ci]
+            for k in self._moving:
+                fc[k, ...] = xp.roll(
+                    fc[k], self._shifts[k], axis=self._spatial_axes
+                )
+        return f
+
+    def bounce_back(self, f):
+        if not self._has_solid:
+            return
+        xp = self.xp
+        for ci in range(f.shape[0]):
+            fc = f[ci]
+            # f_k <- f_opp(k) at solid nodes: a full reversed copy
+            # selected through the solid mask (the rest population is its
+            # own opposite, so row 0 passes through unchanged).
+            reversed_f = xp.take(fc, self._opp, axis=0)
+            fc[...] = xp.where(self._solid, reversed_f, fc)
+
+    # ---------------------------------------------------------- equilibrium
+    def equilibrium(self, rho_n, u, out=None):
+        xp = self.xp
+        lat = self.lattice
+        if u.shape != (lat.D,) + tuple(rho_n.shape):
+            raise ValueError(
+                f"u shape {u.shape} != {(lat.D,) + tuple(rho_n.shape)}"
+            )
+        inv_cs2 = self._inv_cs2
+        cu = xp.tensordot(self._cf, u, axes=([1], [0]))
+        usq = u[0] * u[0]
+        for d in range(1, lat.D):
+            usq = usq + u[d] * u[d]
+        if out is None:
+            out = xp.empty((lat.Q,) + tuple(rho_n.shape), dtype=xp.float64)
+        out[...] = cu * cu
+        out *= 0.5 * inv_cs2 * inv_cs2
+        out += cu * inv_cs2
+        out += 1.0
+        out -= (0.5 * inv_cs2) * usq
+        out *= rho_n
+        out *= self._w_col
+        return out
+
+    # ------------------------------------------------------------ collision
+    def collide_bgk(self, f, rho, u_eq, mask):
+        for ci in range(self.n_components):
+            feq = self.equilibrium(
+                rho[ci] / self._masses_f[ci], u_eq[ci], out=self._feq
+            )
+            omega = 1.0 / self._taus_f[ci]
+            feq -= f[ci]
+            feq *= omega * mask
+            f[ci] += feq
+
+    # ------------------------------------------------------------ Shan-Chen
+    def _shifted_psi_sum(self, psi):
+        """``sum_k w_k psi(x + c_k) c_k`` in ``lattice.moving`` order."""
+        xp = self.xp
+        out = xp.zeros((self.lattice.D,) + tuple(psi.shape), dtype=xp.float64)
+        for shift_opp, terms in self._psi_terms:
+            shifted = xp.roll(psi, shift_opp, axis=self._spatial_axes)
+            for d, coeff in terms:
+                out[d, ...] += coeff * shifted
+        return out
+
+    def shan_chen_force(self, psis, out=None):
+        xp = self.xp
+        sums = xp.stack(
+            [self._shifted_psi_sum(psis[c]) for c in range(self.n_components)]
+        )
+        forces = xp.zeros_like(sums)
+        for sigma in range(self.n_components):
+            coupled = xp.tensordot(self._g_rows[sigma], sums, axes=([0], [0]))
+            forces[sigma, ...] = -psis[sigma][None, ...] * coupled
+        if out is None:
+            return forces
+        out[...] = forces
+        return out
+
+    # -------------------------------------------------------------- moments
+    def moments(self, f, rho_out, mom_out):
+        xp = self.xp
+        for ci in range(self.n_components):
+            mass = self._masses_f[ci]
+            rho_out[ci, ...] = mass * xp.sum(f[ci], axis=0)
+            mom_out[ci, ...] = mass * xp.tensordot(
+                self._cfT, f[ci], axes=([1], [0])
+            )
+
+    def forces_and_velocities(
+        self,
+        rho,
+        mom,
+        force,
+        u_eq,
+        *,
+        accel,
+        psi_mask,
+        vel_mask,
+        adhesion=None,
+        wall_field=None,
+    ):
+        xp = self.xp
+        psis = xp.stack(
+            [self.psi(rho[ci]) for ci in range(self.n_components)]
+        )
+        psis *= psi_mask
+        sc = self.shan_chen_force(psis)
+
+        force[...] = sc
+        force += accel * rho[:, None]
+        if adhesion is not None and wall_field is not None:
+            for ci, g_ads in enumerate(adhesion):
+                if g_ads != 0.0:
+                    force[ci, ...] -= g_ads * psis[ci][None] * wall_field
+
+        inv_tau = self._inv_tau_col
+        denom = xp.sum(rho * inv_tau, axis=0)
+        numer = xp.sum(mom * inv_tau[:, None], axis=0)
+        u_common = numer / xp.maximum(denom, 1e-300)
+        for ci in range(self.n_components):
+            safe_rho = xp.maximum(rho[ci], 1e-300)
+            u_eq[ci, ...] = u_common + self._taus_f[ci] * force[ci] / safe_rho
+            u_eq[ci, ...] *= vel_mask
+        return psis

@@ -8,7 +8,7 @@ the moment/force/velocity update — for one solver instance.  The physics
 :class:`~repro.parallel.driver.ParallelLBM`; backends only decide *how*
 each kernel touches memory.
 
-Two backends ship with the package:
+Four backends ship with the package:
 
 ``reference``
     The original NumPy kernels, unchanged — per-component loops,
@@ -22,10 +22,28 @@ Two backends ship with the package:
     Shan-Chen central differences over a preallocated scratch pool
     (see :mod:`repro.lbm.backends.fused`).
 
+``arrayapi``
+    The reference operation order written against the array-API
+    namespace handle (:mod:`repro.lbm.backends.xp`) — bit-identical to
+    ``reference`` under the default NumPy binding, portable to
+    accelerator namespaces (see :mod:`repro.lbm.backends.arrayapi`).
+
+``batched``
+    Stacked-ensemble kernels: N independent simulations as one
+    ``(N, C, Q, *S)`` array pass with per-member coupling/forcing
+    parameters; also usable as a single-run backend at batch size 1
+    (see :mod:`repro.lbm.backends.batched` and
+    :mod:`repro.lbm.ensemble`).
+
 Selection: ``LBMConfig(backend="fused")`` explicitly, or the
 ``REPRO_LBM_BACKEND`` environment variable as the default for configs
 that do not name a backend.  All validation (g-matrix symmetry, shape
-checks) happens here at construction time, never per step.
+checks) happens at configuration/construction time, never per step:
+``LBMConfig.__post_init__`` validates the coupling matrix and resolves
+the backend name once, so :func:`create_backend` and the
+:class:`KernelBackend` constructor trust the config — the ensemble
+engine can rebuild backends inside a sweep without re-paying
+validation or environment reads.
 """
 
 from __future__ import annotations
@@ -37,7 +55,6 @@ import numpy as np
 
 from repro.config import ENV_BACKEND, from_env
 from repro.lbm.lattice import Lattice
-from repro.lbm.shan_chen import validate_g_matrix
 from repro.obs.observer import NULL_OBSERVER, ObserverLike
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (solver imports us)
@@ -117,9 +134,14 @@ def create_backend(
         InstrumentedBackend` that times every kernel call; when disabled
         the raw backend is returned and the hot path is untouched.
     """
-    backend = get_backend_class(getattr(config, "backend", None))(
-        config, shape, solid_mask
-    )
+    # Fast path: configs built through LBMConfig.__post_init__ carry an
+    # already-resolved backend name, so skip the environment read that
+    # resolve_backend_name would repeat (hoisted out of ensemble loops).
+    name = getattr(config, "backend", None)
+    cls = _REGISTRY.get(name) if name is not None else None
+    if cls is None:
+        cls = get_backend_class(name)
+    backend = cls(config, shape, solid_mask)
     if observer is not None and observer.enabled:
         from repro.lbm.backends.instrumented import InstrumentedBackend
 
@@ -171,10 +193,11 @@ class KernelBackend(abc.ABC):
         self.masses = np.array(
             [c.mass for c in config.components], dtype=np.float64
         )
-        # Hoisted hot-loop validation: the g matrix is checked exactly once.
-        self.g_matrix = validate_g_matrix(
-            np.asarray(config.g_matrix), self.n_components
-        )
+        # Hoisted validation: ``LBMConfig.__post_init__`` already ran
+        # ``validate_g_matrix`` when the config was built, so backend
+        # (re)construction — per ensemble member, per migration rebuild —
+        # does not re-pay the symmetry/shape checks.
+        self.g_matrix = np.asarray(config.g_matrix, dtype=np.float64)
         self.psi: Callable[[np.ndarray], np.ndarray] = config.psi
 
     # ------------------------------------------------------------- kernels

@@ -1,0 +1,94 @@
+"""The array-API namespace handle for the portable kernel backends.
+
+The ``arrayapi`` and ``batched`` backends never spell ``import numpy``;
+they call :func:`get_namespace` and route every array operation through
+the returned module object (conventionally bound to a local ``xp``).
+With the default binding that object *is* NumPy — whose main namespace
+is array-API compatible since NumPy 2 — so today the backends are
+bit-identical to the NumPy reference kernels.  When accelerator
+namespaces (CuPy, torch via ``array_api_compat``) are installed, the
+same kernel source runs on them by flipping one knob.
+
+Selection order: an explicit *name* argument, then the
+``REPRO_LBM_ARRAY_NS`` environment variable (parsed by
+:mod:`repro.config`), then NumPy.
+
+This module is the **only** file under ``repro/lbm/backends/`` outside
+the classic ``reference``/``fused`` pair that may import numpy directly;
+the REP007 static rule enforces that every other backend module obtains
+its namespace here.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+import numpy as np
+
+from repro.config import from_env
+
+#: Canonical spellings of the default (NumPy) binding.
+_NUMPY_NAMES = frozenset({"numpy", "np"})
+
+#: Namespaces we know how to import when present; each maps the public
+#: name to the module path tried at resolution time.
+_OPTIONAL_NAMESPACES = {
+    "array_api_compat.numpy": "array_api_compat.numpy",
+    "cupy": "cupy",
+    "torch": "torch",
+}
+
+
+def default_namespace() -> ModuleType:
+    """The pure-NumPy binding (always available)."""
+    return np
+
+
+def get_namespace(name: str | None = None) -> ModuleType:
+    """Resolve the array-API namespace the backends should compute in.
+
+    Parameters
+    ----------
+    name:
+        Explicit namespace name (``"numpy"``, ``"array_api_compat.numpy"``,
+        ``"cupy"``, ``"torch"``); ``None`` consults ``REPRO_LBM_ARRAY_NS``
+        and falls back to NumPy.
+
+    Raises
+    ------
+    ImportError
+        If a non-NumPy namespace is requested but not installed, with a
+        message saying which package is missing (nothing is installed on
+        demand — the environment is immutable at run time).
+    ValueError
+        For names this module does not know how to resolve.
+    """
+    if name is None:
+        name = from_env().array_namespace or "numpy"
+    key = name.strip().lower()
+    if key in _NUMPY_NAMES:
+        return np
+    module_path = _OPTIONAL_NAMESPACES.get(key)
+    if module_path is None:
+        known = sorted(_NUMPY_NAMES | set(_OPTIONAL_NAMESPACES))
+        raise ValueError(
+            f"unknown array namespace {name!r}; known: {known}"
+        )
+    try:
+        import importlib
+
+        return importlib.import_module(module_path)
+    except ImportError as exc:
+        raise ImportError(
+            f"array namespace {name!r} requested (REPRO_LBM_ARRAY_NS or "
+            f"explicit) but {module_path!r} is not installed in this "
+            f"environment; unset the knob to use the NumPy binding"
+        ) from exc
+
+
+def is_numpy_namespace(xp: ModuleType) -> bool:
+    """True when *xp* computes with NumPy arrays (the binding under which
+    the array-API backends are bit-identical to ``reference``)."""
+    return xp is np or getattr(xp, "__name__", "").startswith(
+        ("numpy", "array_api_compat.numpy")
+    )

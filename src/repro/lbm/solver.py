@@ -75,8 +75,9 @@ class LBMConfig:
         standard S-C wettability mechanism, as an alternative to the
         paper's explicit ``wall_force`` (see :mod:`repro.lbm.adhesion`).
     backend:
-        Kernel-backend name (``"reference"`` or ``"fused"``; see
-        :mod:`repro.lbm.backends`).  ``None`` (default) consults the
+        Kernel-backend name (``"reference"``, ``"fused"``, ``"arrayapi"``
+        or ``"batched"``; see :mod:`repro.lbm.backends`).  ``None``
+        (default) consults the
         ``REPRO_LBM_BACKEND`` environment variable and falls back to
         ``"reference"``; the resolved name is stored, so parallel ranks
         built from the same config always agree on the backend.

@@ -208,6 +208,11 @@ def render_summary(events: list[dict]) -> str:
 #: Metric-name suffixes where *larger is worse* (time-like quantities).
 _TIME_LIKE = ("duration", "us_per_point", "total_time", "mean", "seconds")
 
+#: Metric-name suffixes where *larger is better* (rate-like quantities,
+#: e.g. the batched ensemble's scenarios-per-second throughput); a
+#: regression is a *drop* beyond the tolerance.
+_RATE_LIKE = ("throughput_scenarios_per_s", "per_second")
+
 
 def trace_metrics(events: list[dict]) -> dict[str, float]:
     """Flatten a trace into comparable scalar metrics."""
@@ -238,13 +243,24 @@ def trace_metrics(events: list[dict]) -> dict[str, float]:
 
 
 def bench_metrics(doc: dict) -> dict[str, float]:
-    """Comparable metrics from a ``BENCH_kernels.json``-style document."""
+    """Comparable metrics from a ``BENCH_kernels.json``-style document.
+
+    The per-kernel section yields ``kernel.<backend>.<kernel>.
+    us_per_point`` time-like metrics; the ``batched`` ensemble section
+    yields ``ensemble.n<N>.*`` entries — µs/point (time-like) and
+    scenarios-per-second throughput (rate-like) per ensemble size.
+    """
     out: dict[str, float] = {}
     for kernel, values in doc.get("benchmarks", {}).items():
         for backend, value in values.items():
             if backend.startswith("speedup"):
                 continue
             out[f"kernel.{backend}.{kernel}.us_per_point"] = float(value)
+    for size, values in doc.get("batched", {}).get("sizes", {}).items():
+        for key, value in values.items():
+            if key.startswith("speedup"):
+                continue
+            out[f"ensemble.n{size}.{key}"] = float(value)
     return out
 
 
@@ -269,16 +285,21 @@ def compare_metrics(
     tolerance: float,
 ) -> list[tuple[str, float, float, float]]:
     """Regressions ``(metric, candidate, baseline, change)`` among the
-    time-like metrics both sides report; ``change`` is the fractional
-    slowdown (+0.25 = 25% slower than baseline)."""
+    comparable metrics both sides report; ``change`` is the fractional
+    *worsening* — slowdown for time-like metrics (+0.25 = 25% slower),
+    throughput loss for rate-like ones (+0.25 = 25% fewer scenarios/s)."""
     regressions = []
     for name in sorted(set(candidate) & set(baseline)):
-        if not name.endswith(_TIME_LIKE):
+        rate_like = name.endswith(_RATE_LIKE)
+        if not rate_like and not name.endswith(_TIME_LIKE):
             continue
         base = baseline[name]
         if base <= 0:
             continue
-        change = candidate[name] / base - 1.0
+        if rate_like:
+            change = 1.0 - candidate[name] / base
+        else:
+            change = candidate[name] / base - 1.0
         if change > tolerance:
             regressions.append((name, candidate[name], base, change))
     return regressions
@@ -295,7 +316,9 @@ def run_compare(
     candidate = load_metrics(candidate_path)
     baseline = load_metrics(baseline_path)
     shared = sorted(
-        n for n in set(candidate) & set(baseline) if n.endswith(_TIME_LIKE)
+        n
+        for n in set(candidate) & set(baseline)
+        if n.endswith(_TIME_LIKE) or n.endswith(_RATE_LIKE)
     )
     if not shared:
         print("no comparable time-like metrics between the two inputs",

@@ -23,6 +23,7 @@ def test_registry_has_all_rules():
         "REP004",
         "REP005",
         "REP006",
+        "REP007",
     }
     assert all(rules.values()), "every rule needs a title"
 

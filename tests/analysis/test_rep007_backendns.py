@@ -1,0 +1,119 @@
+"""REP007: portable backend modules bind arrays via the xp handle."""
+
+from __future__ import annotations
+
+REL = "repro/lbm/backends/newbackend.py"
+
+
+def _rep007(report):
+    return [f for f in report.unsuppressed if f.rule == "REP007"]
+
+
+def test_import_numpy_is_flagged(analyze):
+    report = analyze(
+        """\
+        import numpy as np
+
+        def kernel(f):
+            return np.roll(f, 1, axis=0)
+        """,
+        rel=REL,
+        rules=["REP007"],
+    )
+    assert len(_rep007(report)) == 1
+
+
+def test_import_numpy_submodule_is_flagged(analyze):
+    report = analyze(
+        """\
+        import numpy.linalg
+        import numpy.fft as fft
+        """,
+        rel=REL,
+        rules=["REP007"],
+    )
+    assert len(_rep007(report)) == 2
+
+
+def test_from_numpy_import_is_flagged(analyze):
+    report = analyze(
+        """\
+        from numpy import roll, tensordot
+        from numpy.linalg import norm
+        """,
+        rel=REL,
+        rules=["REP007"],
+    )
+    assert len(_rep007(report)) == 2
+
+
+def test_namespace_handle_passes(analyze):
+    report = analyze(
+        """\
+        from repro.lbm.backends.xp import get_namespace
+
+        class Backend:
+            def __init__(self):
+                self.xp = get_namespace()
+
+            def kernel(self, f):
+                xp = self.xp
+                return xp.roll(f, 1, axis=0)
+        """,
+        rel=REL,
+        rules=["REP007"],
+    )
+    assert _rep007(report) == []
+
+
+def test_allowlisted_backends_are_exempt(analyze):
+    source = """\
+        import numpy as np
+
+        def kernel(f):
+            return np.roll(f, 1, axis=0)
+        """
+    for rel in (
+        "repro/lbm/backends/reference.py",
+        "repro/lbm/backends/fused.py",
+        "repro/lbm/backends/registry.py",
+        "repro/lbm/backends/instrumented.py",
+        "repro/lbm/backends/xp.py",
+    ):
+        report = analyze(source, rel=rel, rules=["REP007"])
+        assert _rep007(report) == [], rel
+
+
+def test_modules_outside_backends_are_exempt(analyze):
+    report = analyze(
+        "import numpy as np\n",
+        rel="repro/lbm/ensemble.py",
+        rules=["REP007"],
+    )
+    assert _rep007(report) == []
+
+
+def test_numpy_like_names_pass(analyze):
+    # Only the real numpy module is banned, not lookalikes.
+    report = analyze(
+        """\
+        import numpy_financial
+        from numpystubs import roll
+        """,
+        rel=REL,
+        rules=["REP007"],
+    )
+    assert _rep007(report) == []
+
+
+def test_suppression_with_reason_silences(analyze):
+    report = analyze(
+        """\
+        # repro: allow[REP007] -- interop shim needs a dtype constant
+        import numpy as np
+        """,
+        rel=REL,
+        rules=["REP007"],
+    )
+    assert _rep007(report) == []
+    assert [f.rule for f in report.suppressed] == ["REP007"]

@@ -48,3 +48,22 @@ def test_fused_backend_kernels_are_registered_hot_paths():
         "moments",
         "forces_and_velocities",
     } <= hot
+
+
+def test_batched_backend_kernels_are_registered_hot_paths():
+    import repro.lbm.backends.batched  # noqa: F401 - registration side effect
+
+    hot = {
+        name.rsplit(".", 1)[-1]
+        for name in HOT_PATH_REGISTRY
+        if name.startswith("repro.lbm.backends.batched.")
+    }
+    assert {
+        "stream",
+        "bounce_back",
+        "equilibrium",
+        "collide_bgk",
+        "shan_chen_force",
+        "moments",
+        "forces_and_velocities",
+    } <= hot

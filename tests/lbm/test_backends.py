@@ -123,12 +123,12 @@ class TestRegistry:
         assert isinstance(backend, FusedBackend)
 
 
-def _pair(lattice, scenario):
-    """Reference and fused solvers for the same configuration."""
+def _pair(lattice, scenario, backend="fused"):
+    """Reference and *backend* solvers for the same configuration."""
     cfg = two_component_config(lattice, scenario=scenario, backend="reference")
     ref = MulticomponentLBM(cfg)
-    fused = MulticomponentLBM(dataclasses.replace(cfg, backend="fused"))
-    return ref, fused
+    other = MulticomponentLBM(dataclasses.replace(cfg, backend=backend))
+    return ref, other
 
 
 DIFF_MATRIX = [

@@ -6,6 +6,7 @@ from __future__ import annotations
 import copy
 import io
 import json
+from pathlib import Path
 
 import pytest
 
@@ -168,6 +169,42 @@ class TestCompare:
     def test_bench_metrics_skips_speedup_ratios(self):
         doc = {"benchmarks": {"stream": {"speedup_vs_reference": 9.0}}}
         assert bench_metrics(doc) == {}
+
+    def test_bench_metrics_parses_ensemble_sizes(self):
+        doc = {
+            "batched": {
+                "sizes": {
+                    "16": {
+                        "batched_us_per_point": 0.6,
+                        "throughput_scenarios_per_s": 180.0,
+                        "speedup_vs_sequential": 2.7,
+                    }
+                }
+            }
+        }
+        metrics = bench_metrics(doc)
+        assert metrics == {
+            "ensemble.n16.batched_us_per_point": 0.6,
+            "ensemble.n16.throughput_scenarios_per_s": 180.0,
+        }
+
+    def test_throughput_drop_is_a_regression(self):
+        base = {"ensemble.n16.throughput_scenarios_per_s": 200.0}
+        slow = {"ensemble.n16.throughput_scenarios_per_s": 120.0}
+        (reg,) = compare_metrics(slow, base, 0.10)
+        assert reg[0] == "ensemble.n16.throughput_scenarios_per_s"
+        assert reg[3] == pytest.approx(0.40)
+        # A throughput *gain* never flags.
+        fast = {"ensemble.n16.throughput_scenarios_per_s": 400.0}
+        assert compare_metrics(fast, base, 0.10) == []
+
+    def test_committed_bench_meets_batched_speedup_floor(self):
+        """The acceptance criterion of the batched engine: committed
+        BENCH_kernels.json must show >= 2x throughput-per-scenario over
+        the sequential fused sweep at N=16."""
+        doc = json.loads(Path("BENCH_kernels.json").read_text())
+        sizes = doc["batched"]["sizes"]
+        assert sizes["16"]["speedup_vs_sequential"] >= 2.0
 
 
 class TestAgainstRealBench:
