@@ -1,5 +1,5 @@
-.PHONY: install test lint bench bench-kernels bench-transport experiments \
-    experiments-fast trace-demo ckpt-demo clean
+.PHONY: install test lint bench bench-kernels bench-transport bench-serve \
+    experiments experiments-fast trace-demo ckpt-demo serve-demo clean
 
 install:
 	pip install -e '.[test]'
@@ -24,6 +24,11 @@ bench-kernels:
 bench-transport:
 	pytest benchmarks/test_bench_transport.py --benchmark-only
 
+# Scheduler vs. naive sequential submission under duplicate-heavy load;
+# writes BENCH_serve.json (also available as the fig-serve experiment).
+bench-serve:
+	python -m repro.experiments.runner fig-serve
+
 experiments:
 	python -m repro.experiments.runner all
 
@@ -34,6 +39,11 @@ experiments-fast:
 trace-demo:
 	python examples/traced_parallel_run.py --trace run.jsonl
 	python -m repro.obs.report summary run.jsonl
+
+# Duplicate-heavy async client load served with content-addressed dedup;
+# every result verified bit-identical to a direct run().
+serve-demo:
+	python examples/serve_demo.py
 
 # Kill a checkpointed parallel run mid-flight, corrupt a shard, resume
 # bit-exact; then inspect + verify the store through the CLI.

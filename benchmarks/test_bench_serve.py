@@ -1,0 +1,108 @@
+"""Scheduler throughput under synthetic duplicate-heavy client load.
+
+Each parametrized case fires the same deterministic spec stream at the
+:mod:`repro.serve` scheduler (8 async clients, 2 workers, coalescing)
+and at the naive alternative — direct sequential :func:`repro.api.run`
+per submission — then records jobs/sec, latency percentiles, cache
+hit-rate and dedup ratio into ``BENCH_serve.json`` at the repository
+root.  Served results are always verified bit-identical to the direct
+runs.  On the duplicate-heavy stream (90% repeats) the served
+throughput must beat naive submission by at least 2x — that floor is
+asserted here in timed mode and gated again in CI from the JSON.
+
+Under ``--benchmark-disable`` each case still runs once (a smoke test of
+the scheduler, dedup and verification) but no floor is asserted.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serve.bench import (
+    DUPLICATE_FRACTIONS,
+    make_workload,
+    run_load,
+    sequential_baseline,
+)
+
+N_JOBS = 64
+PHASES = 6
+CLIENTS = 8
+WORKERS = 2
+COALESCE = 8
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: Required served-vs-naive speedup on the 90%-duplicates stream.
+SPEEDUP_FLOOR = 2.0
+
+
+@pytest.fixture(scope="module")
+def bench_record():
+    """Collect per-fraction rows and write BENCH_serve.json when the
+    module finishes."""
+    results: dict[str, dict] = {}
+    yield results
+    if not results:
+        return
+    payload = {
+        "serve": {
+            "n_jobs": N_JOBS,
+            "clients": CLIENTS,
+            "workers": WORKERS,
+            "coalesce": COALESCE,
+            "phases": PHASES,
+            "shape": [12, 18],
+            "unit": "jobs_per_second",
+            "duplicates": results,
+        }
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.parametrize("fraction", DUPLICATE_FRACTIONS)
+def test_bench_serve(benchmark, bench_record, fraction):
+    specs = make_workload(N_JOBS, fraction, phases=PHASES)
+    out = {}
+
+    def _serve():
+        out["report"], out["results"] = run_load(
+            specs,
+            clients=CLIENTS,
+            workers=WORKERS,
+            coalesce=COALESCE,
+            duplicate_fraction=fraction,
+        )
+
+    benchmark.pedantic(_serve, rounds=1, iterations=1)
+    report = out["report"]
+    seq_jps, seq_results = sequential_baseline(specs)
+
+    for served, direct in zip(out["results"], seq_results):
+        assert np.array_equal(served.f, direct.f)
+
+    speedup = report.jobs_per_second / seq_jps
+    benchmark.extra_info["jobs_per_second"] = round(report.jobs_per_second, 2)
+    benchmark.extra_info["speedup_vs_sequential"] = round(speedup, 2)
+    benchmark.extra_info["cache_hit_rate"] = round(report.cache_hit_rate, 3)
+    bench_record[f"{fraction:.1f}"] = {
+        "jobs_per_second": round(report.jobs_per_second, 2),
+        "sequential_jobs_per_second": round(seq_jps, 2),
+        "speedup_vs_sequential": round(speedup, 2),
+        "p50_latency_seconds": round(report.p50_latency_seconds, 5),
+        "p99_latency_seconds": round(report.p99_latency_seconds, 5),
+        "cache_hit_rate": round(report.cache_hit_rate, 3),
+        "dedup_ratio": round(report.dedup_ratio, 3),
+        "executions": report.executions,
+        "verified_bit_identical": True,
+    }
+
+    if benchmark.stats is None:
+        return  # --benchmark-disable smoke run: no timing floor
+    if fraction >= 0.9:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"served {report.jobs_per_second:.1f} jobs/s is less than "
+            f"{SPEEDUP_FLOOR}x the naive {seq_jps:.1f} jobs/s"
+        )
+        assert report.cache_hit_rate >= 0.8

@@ -32,6 +32,7 @@ running each spec alone, in input order.
 from __future__ import annotations
 
 import dataclasses
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -39,6 +40,8 @@ from typing import Any
 import numpy as np
 
 import repro.config as config_mod
+from repro.ckpt.io import sha256_bytes
+from repro.ckpt.manifest import config_fingerprint
 from repro.core.policies import RemappingConfig
 from repro.lbm.solver import LBMConfig, MulticomponentLBM
 from repro.obs.observer import NULL_OBSERVER, ObserverLike
@@ -51,7 +54,17 @@ from repro.parallel.driver import (
     solver_from_results,
 )
 
-__all__ = ["EnsembleRunResult", "RunSpec", "RunResult", "run", "run_batch"]
+__all__ = [
+    "EnsembleRunResult",
+    "RunSpec",
+    "RunResult",
+    "batch_compatible",
+    "batch_exclusion_reason",
+    "canonical_spec_doc",
+    "run",
+    "run_batch",
+    "spec_fingerprint",
+]
 
 
 @dataclass(frozen=True)
@@ -121,6 +134,40 @@ class RunSpec:
             return self.config
         return dataclasses.replace(self.config, backend=self.backend)
 
+    def fingerprint(self) -> str:
+        """Content hash of everything that determines this run's
+        *result* (see :func:`spec_fingerprint`)."""
+        return spec_fingerprint(self)
+
+
+def canonical_spec_doc(spec: RunSpec) -> dict[str, Any]:
+    """The canonical JSON-able document a spec's fingerprint hashes.
+
+    Only fields that determine the run's *output* participate: the
+    physics fingerprint (:func:`repro.ckpt.manifest.config_fingerprint`,
+    which already canonicalizes geometry, components, coupling, forcing
+    and collision while excluding the kernel backend — an implementation
+    choice, not a model) and the phase target.  Execution knobs — rank
+    count, transport, remapping policy, checkpoint/trace/observer
+    machinery — are deliberately absent: the transports and backends are
+    bit-identical by contract, so two specs differing only there produce
+    the same populations.  Consequently the environment overlay
+    (:meth:`repro.config.EnvConfig.overlay`), which touches only
+    dispatch fields, never changes a fingerprint.
+    """
+    return {
+        "physics": config_fingerprint(spec.resolved_config()),
+        "phases": int(spec.phases),
+    }
+
+
+def spec_fingerprint(spec: RunSpec) -> str:
+    """SHA-256 hex digest of :func:`canonical_spec_doc` — the
+    content-address under which :mod:`repro.serve` deduplicates
+    submissions and caches results."""
+    doc = json.dumps(canonical_spec_doc(spec), sort_keys=True)
+    return sha256_bytes(doc.encode())
+
 
 @dataclass
 class RunResult:
@@ -136,6 +183,10 @@ class RunResult:
     config: LBMConfig
     f: np.ndarray
     rank_results: list[ParallelRunResult] | None = None
+    #: Why :func:`run_batch` executed this spec outside a batched
+    #: ensemble (``None`` for batched members and plain :func:`run`
+    #: calls); see :func:`batch_exclusion_reason`.
+    batch_fallback_reason: str | None = None
     _solver: Any = None
 
     def solver(self) -> MulticomponentLBM:
@@ -224,23 +275,85 @@ class EnsembleRunResult(RunResult):
         return self._solver
 
 
+#: Reason strings :func:`batch_exclusion_reason` can return, in the
+#: order the checks run.  ``no-compatible-partner`` is assigned by
+#: :func:`run_batch` to eligible specs that found no group to join.
+BATCH_EXCLUSION_REASONS = (
+    "parallel-ranks",
+    "checkpoint",
+    "resume",
+    "faults",
+    "trace",
+    "load-time-fn",
+    "initial-counts",
+    "observer",
+    "env-checkpoint",
+    "collision",
+    "adhesion",
+    "no-compatible-partner",
+)
+
+
+def batch_exclusion_reason(
+    spec: RunSpec, config: LBMConfig | None = None
+) -> str | None:
+    """Why *spec* cannot join a batched-ensemble group, or ``None`` when
+    it is eligible: sequential, no checkpoint/resume/fault/trace
+    machinery (neither explicit nor discovered from the environment),
+    BGK collision, no wall adhesion.
+
+    The reason lands on the fallback result
+    (:attr:`RunResult.batch_fallback_reason`) and on the
+    ``api.batch.fallback.<reason>`` observer counter, so callers that
+    build batches — the :mod:`repro.serve` coalescer above all — can see
+    *why* a spec went down the sequential path instead of guessing.
+    """
+    if config is None:
+        config = spec.resolved_config()
+    if spec.ranks != 1:
+        return "parallel-ranks"
+    if spec.checkpoint_store is not None or spec.checkpoint_dir is not None:
+        return "checkpoint"
+    if spec.resume:
+        return "resume"
+    if spec.faults is not None:
+        return "faults"
+    if spec.trace_path is not None:
+        return "trace"
+    if spec.load_time_fn is not None:
+        return "load-time-fn"
+    if spec.initial_counts is not None:
+        return "initial-counts"
+    if spec.observer.enabled:
+        return "observer"
+    if config_mod.from_env().ckpt_dir is not None:
+        return "env-checkpoint"
+    if config.collision != "bgk":
+        return "collision"
+    if config.adhesion is not None:
+        return "adhesion"
+    return None
+
+
 def _ensemble_eligible(spec: RunSpec, config: LBMConfig) -> bool:
-    """Whether *spec* can join a batched-ensemble group: sequential, no
-    checkpoint/resume/fault/trace machinery (neither explicit nor
-    discovered from the environment), BGK collision, no wall adhesion."""
+    return batch_exclusion_reason(spec, config) is None
+
+
+def batch_compatible(base: RunSpec, other: RunSpec) -> bool:
+    """Whether two specs could share one batched-ensemble group: both
+    eligible (:func:`batch_exclusion_reason` is ``None``), equal phase
+    targets, and differing only in the swept scalar knobs.  The
+    :mod:`repro.serve` coalescer uses this to group queued jobs before
+    handing them to :func:`run_batch`."""
+    base = config_mod.from_env().overlay(base)
+    other = config_mod.from_env().overlay(other)
+    base_cfg = base.resolved_config()
+    other_cfg = other.resolved_config()
     return (
-        spec.ranks == 1
-        and spec.checkpoint_store is None
-        and spec.checkpoint_dir is None
-        and not spec.resume
-        and spec.faults is None
-        and spec.trace_path is None
-        and spec.load_time_fn is None
-        and spec.initial_counts is None
-        and not spec.observer.enabled
-        and config_mod.from_env().ckpt_dir is None
-        and config.collision == "bgk"
-        and config.adhesion is None
+        batch_exclusion_reason(base, base_cfg) is None
+        and batch_exclusion_reason(other, other_cfg) is None
+        and base.phases == other.phases
+        and _member_delta(base_cfg, other_cfg) is not None
     )
 
 
@@ -323,18 +436,24 @@ def run_batch(
     overlaid = [config_mod.from_env().overlay(s) for s in specs]
     configs = [s.resolved_config() for s in overlaid]
     results: list[RunResult | None] = [None] * len(specs)
+    fallback_reasons: dict[int, str] = {
+        i: reason
+        for i in range(len(specs))
+        if (reason := batch_exclusion_reason(overlaid[i], configs[i]))
+        is not None
+    }
 
     grouped: list[list[tuple[int, Any]]] = []
     assigned = [False] * len(specs)
     for i in range(len(specs)):
-        if assigned[i] or not _ensemble_eligible(overlaid[i], configs[i]):
+        if assigned[i] or i in fallback_reasons:
             continue
         from repro.lbm.ensemble import MemberParams
 
         group: list[tuple[int, Any]] = [(i, MemberParams())]
         assigned[i] = True
         for j in range(i + 1, len(specs)):
-            if assigned[j] or not _ensemble_eligible(overlaid[j], configs[j]):
+            if assigned[j] or j in fallback_reasons:
                 continue
             if overlaid[j].phases != overlaid[i].phases:
                 continue
@@ -350,6 +469,7 @@ def run_batch(
             # A lone member gains nothing from batching; the plain path
             # keeps every sequential behaviour.
             idx = group[0][0]
+            fallback_reasons[idx] = "no-compatible-partner"
             results[idx] = run(specs[idx])
             continue
         base_idx = group[0][0]
@@ -376,6 +496,10 @@ def run_batch(
     for i, spec in enumerate(specs):
         if results[i] is None:
             results[i] = run(spec)
+    for i, reason in fallback_reasons.items():
+        results[i].batch_fallback_reason = reason
+        if observer.enabled:
+            observer.counter(f"api.batch.fallback.{reason}").add()
     return results
 
 

@@ -19,6 +19,12 @@ is parsed here into one immutable :class:`EnvConfig` snapshot:
 ``REPRO_CKPT_KEEP``
     Checkpoint store root, snapshot interval, resume flag and retention
     window (:mod:`repro.ckpt.policy`).
+``REPRO_SERVE_WORKERS`` / ``REPRO_SERVE_COALESCE`` /
+``REPRO_SERVE_RETRIES`` / ``REPRO_SERVE_CACHE``
+    Job-scheduler defaults (:mod:`repro.serve`): worker-pool width,
+    maximum specs coalesced into one batched execution, retry budget for
+    a job whose worker died, and result-cache capacity (0 disables
+    caching).
 
 Modules never touch ``os.environ`` themselves — they call
 :func:`from_env` (or one of the thin per-subsystem wrappers that do) and
@@ -49,6 +55,10 @@ ENV_CKPT_DIR = "REPRO_CKPT_DIR"
 ENV_CKPT_EVERY = "REPRO_CKPT_EVERY"
 ENV_CKPT_RESUME = "REPRO_CKPT_RESUME"
 ENV_CKPT_KEEP = "REPRO_CKPT_KEEP"
+ENV_SERVE_WORKERS = "REPRO_SERVE_WORKERS"
+ENV_SERVE_COALESCE = "REPRO_SERVE_COALESCE"
+ENV_SERVE_RETRIES = "REPRO_SERVE_RETRIES"
+ENV_SERVE_CACHE = "REPRO_SERVE_CACHE"
 
 #: Every variable this module owns, for documentation and tests.
 ALL_ENV_VARS = (
@@ -60,6 +70,10 @@ ALL_ENV_VARS = (
     ENV_CKPT_EVERY,
     ENV_CKPT_RESUME,
     ENV_CKPT_KEEP,
+    ENV_SERVE_WORKERS,
+    ENV_SERVE_COALESCE,
+    ENV_SERVE_RETRIES,
+    ENV_SERVE_CACHE,
 )
 
 _TRUTHY = {"1", "true", "yes", "on"}
@@ -85,6 +99,10 @@ class EnvConfig:
     ckpt_every: int = 0
     ckpt_resume: bool = False
     ckpt_keep: int = 3
+    serve_workers: int = 2
+    serve_coalesce: int = 8
+    serve_retries: int = 1
+    serve_cache: int = 1024
 
     def overlay(self, spec: Any) -> Any:
         """Fill a :class:`repro.api.RunSpec`'s unset fields from the
@@ -129,6 +147,10 @@ def from_env(environ: Mapping[str, str] | None = None) -> EnvConfig:
         ckpt_every=int(_clean(environ, ENV_CKPT_EVERY) or 0),
         ckpt_resume=_clean(environ, ENV_CKPT_RESUME).lower() in _TRUTHY,
         ckpt_keep=int(_clean(environ, ENV_CKPT_KEEP) or 3),
+        serve_workers=int(_clean(environ, ENV_SERVE_WORKERS) or 2),
+        serve_coalesce=int(_clean(environ, ENV_SERVE_COALESCE) or 8),
+        serve_retries=int(_clean(environ, ENV_SERVE_RETRIES) or 1),
+        serve_cache=int(_clean(environ, ENV_SERVE_CACHE) or 1024),
     )
 
 

@@ -35,6 +35,7 @@ from repro.experiments import (
     fig8_speedup,
     fig9_profile,
     fig10_schemes,
+    fig_serve,
     table1_spikes,
     validation,
 )
@@ -46,6 +47,7 @@ EXPERIMENTS: dict[str, Callable[..., Report]] = {
     "fig7": fig7_velocity.run,
     "fig8": fig8_speedup.run,
     "fig8-transport": fig8_speedup.transports_run,
+    "fig-serve": fig_serve.run,
     "fig9": fig9_profile.run,
     "fig10": fig10_schemes.run,
     "table1": table1_spikes.run,
@@ -64,6 +66,7 @@ ORDER = (
     "fig7",
     "fig8",
     "fig8-transport",
+    "fig-serve",
     "fig9",
     "fig10",
     "table1",

@@ -209,9 +209,15 @@ def render_summary(events: list[dict]) -> str:
 _TIME_LIKE = ("duration", "us_per_point", "total_time", "mean", "seconds")
 
 #: Metric-name suffixes where *larger is better* (rate-like quantities,
-#: e.g. the batched ensemble's scenarios-per-second throughput); a
-#: regression is a *drop* beyond the tolerance.
-_RATE_LIKE = ("throughput_scenarios_per_s", "per_second")
+#: e.g. the batched ensemble's scenarios-per-second throughput or the
+#: scheduler's jobs/sec, cache hit-rate and dedup ratio); a regression
+#: is a *drop* beyond the tolerance.
+_RATE_LIKE = (
+    "throughput_scenarios_per_s",
+    "per_second",
+    "hit_rate",
+    "dedup_ratio",
+)
 
 
 def trace_metrics(events: list[dict]) -> dict[str, float]:
@@ -261,6 +267,15 @@ def bench_metrics(doc: dict) -> dict[str, float]:
             if key.startswith("speedup"):
                 continue
             out[f"ensemble.n{size}.{key}"] = float(value)
+    for frac, values in doc.get("serve", {}).get("duplicates", {}).items():
+        for key, value in values.items():
+            if (
+                key.startswith("speedup")
+                or isinstance(value, bool)
+                or not isinstance(value, (int, float))
+            ):
+                continue
+            out[f"serve.dup{frac}.{key}"] = float(value)
     return out
 
 
@@ -274,7 +289,7 @@ def load_metrics(path: str | Path) -> dict[str, float]:
         doc = json.loads(text)
     except json.JSONDecodeError:
         doc = None  # multi-line JSONL trace
-    if isinstance(doc, dict) and "benchmarks" in doc:
+    if isinstance(doc, dict) and ("benchmarks" in doc or "serve" in doc):
         return bench_metrics(doc)
     return trace_metrics(read_trace(path))
 
@@ -327,7 +342,10 @@ def run_compare(
     regressions = compare_metrics(candidate, baseline, tolerance)
     rows = [
         (name, candidate[name], baseline[name],
-         100.0 * (candidate[name] / baseline[name] - 1.0),
+         # a zero baseline (e.g. cache hit rate with no duplicates) has no
+         # meaningful percentage change; compare_metrics skips it too
+         100.0 * (candidate[name] / baseline[name] - 1.0)
+         if baseline[name] > 0 else float("nan"),
          "REGRESSION" if any(r[0] == name for r in regressions) else "ok")
         for name in shared
     ]

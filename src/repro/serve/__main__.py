@@ -1,0 +1,132 @@
+"""``python -m repro.serve`` — drive the scheduler with a synthetic
+client load and print the service-level numbers.
+
+    python -m repro.serve --jobs 64 --duplicates 0.9 --workers 2
+    python -m repro.serve --json BENCH_serve.json   # full fraction sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.serve.bench import (
+    DUPLICATE_FRACTIONS,
+    benchmark_serve,
+    make_workload,
+    run_load,
+    sequential_baseline,
+    write_bench,
+)
+from repro.util.tables import format_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Synthetic client load against the job scheduler.",
+    )
+    parser.add_argument("--jobs", type=int, default=64)
+    parser.add_argument(
+        "--duplicates",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "duplicate fraction of the stream (default: sweep "
+            f"{DUPLICATE_FRACTIONS})"
+        ),
+    )
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--coalesce", type=int, default=8)
+    parser.add_argument("--phases", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also time naive sequential submission for comparison",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the BENCH_serve.json payload (full fraction sweep)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.json is not None:
+        payload = benchmark_serve(
+            n_jobs=args.jobs,
+            clients=args.clients,
+            workers=args.workers,
+            coalesce=args.coalesce,
+            phases=args.phases,
+            seed=args.seed,
+        )
+        write_bench(payload, args.json)
+        print(f"wrote {args.json}")
+        fractions = payload["serve"]["duplicates"]
+        rows = [
+            (
+                frac,
+                v["jobs_per_second"],
+                v["sequential_jobs_per_second"],
+                v["speedup_vs_sequential"],
+                v["cache_hit_rate"],
+                v["dedup_ratio"],
+            )
+            for frac, v in sorted(fractions.items())
+        ]
+        print(
+            format_table(
+                ["dup", "served jobs/s", "sequential jobs/s", "speedup",
+                 "hit rate", "dedup"],
+                rows,
+                title="-- serve benchmark sweep --",
+            )
+        )
+        return 0
+
+    fractions = (
+        (args.duplicates,) if args.duplicates is not None
+        else DUPLICATE_FRACTIONS
+    )
+    rows = []
+    for fraction in fractions:
+        specs = make_workload(
+            args.jobs, fraction, seed=args.seed, phases=args.phases
+        )
+        report, _ = run_load(
+            specs,
+            clients=args.clients,
+            workers=args.workers,
+            coalesce=args.coalesce,
+            duplicate_fraction=fraction,
+        )
+        row = list(report.row())
+        if args.baseline:
+            seq_jps, _ = sequential_baseline(specs)
+            row.append(report.jobs_per_second / seq_jps)
+        rows.append(tuple(row))
+    headers = [
+        "dup", "jobs", "execs", "jobs/s", "p50 (ms)", "p99 (ms)",
+        "hit rate", "dedup",
+    ]
+    if args.baseline:
+        headers.append("speedup vs seq")
+    print(
+        format_table(
+            headers,
+            rows,
+            title=(
+                f"-- serve load: {args.clients} clients, "
+                f"{args.workers} workers, coalesce {args.coalesce} --"
+            ),
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -206,6 +206,72 @@ class TestCompare:
         sizes = doc["batched"]["sizes"]
         assert sizes["16"]["speedup_vs_sequential"] >= 2.0
 
+    def test_bench_metrics_parses_serve_duplicates(self):
+        doc = {
+            "serve": {
+                "duplicates": {
+                    "0.9": {
+                        "jobs_per_second": 900.0,
+                        "p99_latency_seconds": 0.007,
+                        "cache_hit_rate": 0.9,
+                        "speedup_vs_sequential": 4.4,
+                        "verified_bit_identical": True,
+                    }
+                }
+            }
+        }
+        metrics = bench_metrics(doc)
+        # ratios and booleans are not comparable metrics
+        assert metrics == {
+            "serve.dup0.9.jobs_per_second": 900.0,
+            "serve.dup0.9.p99_latency_seconds": 0.007,
+            "serve.dup0.9.cache_hit_rate": 0.9,
+        }
+
+    def test_serve_rate_metrics_regress_on_drops_only(self):
+        base = {
+            "serve.dup0.9.jobs_per_second": 900.0,
+            "serve.dup0.9.cache_hit_rate": 0.9,
+            "serve.dup0.9.p99_latency_seconds": 0.007,
+        }
+        worse = {
+            "serve.dup0.9.jobs_per_second": 450.0,
+            "serve.dup0.9.cache_hit_rate": 0.4,
+            "serve.dup0.9.p99_latency_seconds": 0.030,
+        }
+        names = {r[0] for r in compare_metrics(worse, base, 0.10)}
+        assert names == set(base)
+        # gains in rates and drops in latency never flag
+        better = {
+            "serve.dup0.9.jobs_per_second": 1800.0,
+            "serve.dup0.9.cache_hit_rate": 1.0,
+            "serve.dup0.9.p99_latency_seconds": 0.001,
+        }
+        assert compare_metrics(better, base, 0.10) == []
+
+    def test_committed_serve_bench_meets_dedup_floor(self):
+        """The serving acceptance criterion: committed BENCH_serve.json
+        must show >= 2x served throughput over naive sequential
+        submission on the 90%-duplicates stream, with a cache hit-rate
+        of at least 0.8, every row verified bit-identical."""
+        doc = json.loads(Path("BENCH_serve.json").read_text())
+        row = doc["serve"]["duplicates"]["0.9"]
+        assert row["speedup_vs_sequential"] >= 2.0
+        assert row["cache_hit_rate"] >= 0.8
+        assert all(
+            v["verified_bit_identical"]
+            for v in doc["serve"]["duplicates"].values()
+        )
+
+    def test_compare_survives_zero_baseline_rate(self):
+        """The 0%-duplicates row legitimately reports cache_hit_rate 0.0;
+        a self-compare of the committed serve bench must not divide by it
+        and must report no regressions."""
+        out = io.StringIO()
+        code = run_compare("BENCH_serve.json", "BENCH_serve.json", out=out)
+        assert code == 0
+        assert "no regressions" in out.getvalue()
+
 
 class TestAgainstRealBench:
     def test_committed_bench_file_loads(self):

@@ -1,0 +1,149 @@
+"""The serve benchmark harness itself: workload construction, the load
+driver, payload assembly and the ``python -m repro.serve`` CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import run, spec_fingerprint
+from repro.serve.__main__ import main as serve_main
+from repro.serve.bench import (
+    DUPLICATE_FRACTIONS,
+    LoadReport,
+    benchmark_serve,
+    make_workload,
+    run_load,
+    sequential_baseline,
+    write_bench,
+)
+
+
+class TestMakeWorkload:
+    def test_deterministic_for_a_seed(self):
+        a = make_workload(12, 0.5, seed=99)
+        b = make_workload(12, 0.5, seed=99)
+        assert [spec_fingerprint(s) for s in a] == [
+            spec_fingerprint(s) for s in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = make_workload(12, 0.0, seed=1)
+        b = make_workload(12, 0.0, seed=2)
+        assert {spec_fingerprint(s) for s in a} != {
+            spec_fingerprint(s) for s in b
+        }
+
+    def test_duplicate_fraction_controls_unique_count(self):
+        specs = make_workload(20, 0.9, seed=3)
+        unique = {spec_fingerprint(s) for s in specs}
+        assert len(specs) == 20
+        assert len(unique) == 2  # round(20 * 0.1)
+
+    def test_zero_duplicates_all_unique(self):
+        specs = make_workload(10, 0.0, seed=3)
+        assert len({spec_fingerprint(s) for s in specs}) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="duplicate_fraction"):
+            make_workload(10, 1.5)
+        with pytest.raises(ValueError, match="n_jobs"):
+            make_workload(0, 0.5)
+
+
+class TestRunLoad:
+    def test_results_in_input_order_and_identical(self):
+        specs = make_workload(8, 0.5, seed=11, phases=3)
+        report, results = run_load(
+            specs, clients=3, workers=2, duplicate_fraction=0.5
+        )
+        assert isinstance(report, LoadReport)
+        assert report.n_jobs == 8
+        assert report.executions == len(
+            {spec_fingerprint(s) for s in specs}
+        )
+        assert report.jobs_per_second > 0
+        assert report.p99_latency_seconds >= report.p50_latency_seconds
+        for spec, result in zip(specs, results):
+            assert np.array_equal(result.f, run(spec).f)
+
+    def test_row_shape_matches_cli_table(self):
+        report = LoadReport(
+            n_jobs=8,
+            duplicate_fraction=0.5,
+            clients=2,
+            workers=1,
+            coalesce=4,
+            wall_seconds=1.0,
+            jobs_per_second=8.0,
+            p50_latency_seconds=0.01,
+            p99_latency_seconds=0.02,
+            cache_hit_rate=0.5,
+            dedup_ratio=0.5,
+            executions=4,
+        )
+        row = report.row()
+        assert row[0] == "0.5"
+        assert row[1:3] == (8, 4)
+        assert len(row) == 8
+
+
+class TestBenchmarkServe:
+    def test_payload_structure_and_verification(self, tmp_path):
+        payload = benchmark_serve(
+            n_jobs=8,
+            clients=2,
+            workers=1,
+            coalesce=4,
+            fractions=(0.5,),
+            phases=3,
+            seed=7,
+        )
+        section = payload["serve"]
+        assert section["unit"] == "jobs_per_second"
+        row = section["duplicates"]["0.5"]
+        assert row["verified_bit_identical"] is True
+        assert row["executions"] == 4
+        assert row["dedup_ratio"] == 0.5
+        assert row["jobs_per_second"] > 0
+        assert row["sequential_jobs_per_second"] > 0
+
+        out = tmp_path / "bench.json"
+        write_bench(payload, out)
+        assert json.loads(out.read_text()) == payload
+
+    def test_sequential_baseline_matches_direct_runs(self):
+        specs = make_workload(4, 0.0, seed=13, phases=3)
+        jps, results = sequential_baseline(specs)
+        assert jps > 0
+        for spec, result in zip(specs, results):
+            assert np.array_equal(result.f, run(spec).f)
+
+
+class TestCLI:
+    def test_single_fraction_with_baseline(self, capsys):
+        rc = serve_main(
+            [
+                "--jobs", "8", "--duplicates", "0.9", "--clients", "2",
+                "--workers", "1", "--phases", "3", "--baseline",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "serve load" in out
+        assert "speedup vs seq" in out
+
+    def test_json_sweep_writes_payload(self, tmp_path, capsys):
+        target = tmp_path / "BENCH_serve.json"
+        rc = serve_main(
+            [
+                "--jobs", "6", "--clients", "2", "--workers", "1",
+                "--phases", "3", "--json", str(target),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(target.read_text())
+        assert set(doc["serve"]["duplicates"]) == {
+            f"{f:.1f}" for f in DUPLICATE_FRACTIONS
+        }
+        assert "serve benchmark sweep" in capsys.readouterr().out

@@ -3,11 +3,17 @@
 floor, and make raising the floor a one-command operation.
 
     python tools/coverage_ratchet.py check coverage.json
-    python tools/coverage_ratchet.py update coverage.json   # raise the floor
+    python tools/coverage_ratchet.py update coverage.json   # raise floors
 
 ``coverage.json`` is the report written by ``pytest --cov=repro
---cov-report=json``.  The floor only moves up: ``update`` refuses to
-lower it, so coverage can ratchet but never quietly regress.
+--cov-report=json``.  Floors only move up: ``update`` refuses to lower
+them, so coverage can ratchet but never quietly regress.
+
+Besides the global line floor the ratchet carries *per-file* floors
+(the ``files`` map in ``coverage_ratchet.json``) for modules whose
+coverage is load-bearing — the ``repro.api`` dispatch facade and the
+serve layer.  A per-file floor fails the check when the file drops
+below it **or disappears from the report entirely**.
 """
 
 from __future__ import annotations
@@ -24,13 +30,35 @@ RATCHET_PATH = Path(__file__).resolve().parent.parent / "coverage_ratchet.json"
 MARGIN = 0.5
 
 
-def measured_percent(coverage_json: Path) -> float:
-    doc = json.loads(coverage_json.read_text(encoding="utf-8"))
+def load_report(coverage_json: Path) -> dict:
+    return json.loads(coverage_json.read_text(encoding="utf-8"))
+
+
+def measured_percent(doc: dict) -> float:
     return float(doc["totals"]["percent_covered"])
 
 
-def load_floor() -> float:
-    return float(json.loads(RATCHET_PATH.read_text())["line_percent_floor"])
+def file_percent(doc: dict, path: str) -> float | None:
+    """Line coverage for *path* in the report, or ``None`` when the
+    report never measured it.  Report keys may be absolute or
+    cwd-relative depending on how pytest was invoked, so match on the
+    normalized suffix."""
+    files = doc.get("files", {})
+    entry = files.get(path)
+    if entry is None:
+        for key, candidate in files.items():
+            if key.replace("\\", "/").endswith(path):
+                entry = candidate
+                break
+    if entry is None:
+        return None
+    return float(entry["summary"]["percent_covered"])
+
+
+def load_ratchet() -> dict:
+    doc = json.loads(RATCHET_PATH.read_text())
+    doc.setdefault("files", {})
+    return doc
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -39,17 +67,39 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("coverage_json", type=Path)
     args = parser.parse_args(argv)
 
-    percent = measured_percent(args.coverage_json)
-    floor = load_floor()
+    doc = load_report(args.coverage_json)
+    percent = measured_percent(doc)
+    ratchet = load_ratchet()
+    floor = float(ratchet["line_percent_floor"])
 
     if args.command == "check":
+        failed = False
         if percent + MARGIN < floor:
             print(
                 f"FAIL: coverage {percent:.2f}% is below the ratchet floor "
                 f"{floor:.2f}% (margin {MARGIN}%)"
             )
+            failed = True
+        else:
+            print(f"OK: coverage {percent:.2f}% >= floor {floor:.2f}%")
+        for path, file_floor in sorted(ratchet["files"].items()):
+            measured = file_percent(doc, path)
+            if measured is None:
+                print(f"FAIL: {path} missing from the coverage report")
+                failed = True
+            elif measured + MARGIN < float(file_floor):
+                print(
+                    f"FAIL: {path} coverage {measured:.2f}% is below its "
+                    f"floor {float(file_floor):.2f}%"
+                )
+                failed = True
+            else:
+                print(
+                    f"OK: {path} {measured:.2f}% >= floor "
+                    f"{float(file_floor):.2f}%"
+                )
+        if failed:
             return 1
-        print(f"OK: coverage {percent:.2f}% >= floor {floor:.2f}%")
         if percent > floor + 5.0:
             print(
                 "note: coverage is well above the floor — consider "
@@ -58,22 +108,32 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     # update: floors only move up
+    changed = False
     new_floor = round(percent, 2)
-    if new_floor <= floor:
+    if new_floor > floor:
+        ratchet["line_percent_floor"] = new_floor
+        print(f"floor raised {floor:.2f}% -> {new_floor:.2f}%")
+        changed = True
+    else:
         print(f"floor stays at {floor:.2f}% (measured {percent:.2f}%)")
-        return 0
-    RATCHET_PATH.write_text(
-        json.dumps(
-            {
-                "line_percent_floor": new_floor,
-                "source": "pytest --cov=repro --cov-report=json",
-            },
-            indent=2,
+    for path, file_floor in sorted(ratchet["files"].items()):
+        measured = file_percent(doc, path)
+        if measured is None:
+            print(f"warning: {path} missing from the report; floor kept")
+            continue
+        new_file_floor = round(measured, 2)
+        if new_file_floor > float(file_floor):
+            ratchet["files"][path] = new_file_floor
+            print(
+                f"{path} floor raised {float(file_floor):.2f}% -> "
+                f"{new_file_floor:.2f}%"
+            )
+            changed = True
+    if changed:
+        ratchet["source"] = "pytest --cov=repro --cov-report=json"
+        RATCHET_PATH.write_text(
+            json.dumps(ratchet, indent=2) + "\n", encoding="utf-8"
         )
-        + "\n",
-        encoding="utf-8",
-    )
-    print(f"floor raised {floor:.2f}% -> {new_floor:.2f}%")
     return 0
 
 
