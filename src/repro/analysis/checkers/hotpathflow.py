@@ -1,0 +1,69 @@
+"""REP010 — no allocation transitively reachable from an ``@hot_path``.
+
+REP001 polices the *bodies* of ``@hot_path`` functions; a hot kernel can
+still launder an allocation through a cold helper one call away.  This
+rule follows the call graph from every hot function into its resolved
+callees and flags any allocation (REP001's exact detection sets) found
+there.
+
+Division of labour: hot callees are **skipped** — their bodies are
+REP001's jurisdiction, so a hot→hot edge never double-reports.  The
+finding anchors at the *call site inside the hot function* (not at the
+callee's allocation line), which keeps the suppression next to the hot
+code that takes responsibility for the cold fallback.
+
+Unresolvable dispatch (``self.backend.step``, callables passed as
+values, ``getattr``) produces no edge — a documented soundness limit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ProjectChecker,
+    ProjectContext,
+    register_checker,
+)
+
+
+@register_checker
+class HotPathFlowChecker(ProjectChecker):
+    rule = "REP010"
+    title = "no allocating call transitively reachable from an @hot_path function"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.callgraph
+        for summary in graph.functions.values():
+            if not summary.is_hot:
+                continue
+            reported: set[tuple[int, str]] = set()
+            for first_site, callee, chain in graph.reachable_calls(
+                summary.qualname, enter=lambda c: not c.is_hot
+            ):
+                if callee.is_hot or not callee.allocations:
+                    continue
+                key = (first_site.line, callee.qualname)
+                if key in reported:
+                    continue
+                reported.add(key)
+                alloc = callee.allocations[0]
+                extra = (
+                    f" (+{len(callee.allocations) - 1} more)"
+                    if len(callee.allocations) > 1
+                    else ""
+                )
+                hop = " -> ".join(q.rsplit(".", 1)[-1] for q in chain)
+                yield Finding(
+                    rule=self.rule,
+                    path=summary.path,
+                    line=first_site.line,
+                    col=first_site.col,
+                    message=(
+                        f"hot path '{summary.name}' reaches allocating "
+                        f"{alloc.what} at {callee.path}:{alloc.line}{extra} "
+                        f"via {hop}; preallocate in __init__ or suppress the "
+                        "deliberate cold fallback here"
+                    ),
+                )

@@ -1,0 +1,163 @@
+"""REP008 — SPMD protocol discipline in ``repro.parallel``.
+
+The paper's correctness argument is a hand-checked message protocol:
+every halo/migration ``send`` has a matching ``recv`` on the peer, and
+collectives (``allgather``, ``barrier``) are executed by **all** ranks
+in the same order.  This rule machine-checks three shapes of that
+argument over the whole-program call graph summaries:
+
+1. **Tag mismatch** — a ``send`` whose normalized tag unifies with no
+   ``recv`` anywhere in scope (or vice versa) is a message that can
+   never be delivered/satisfied.  Generic forwarders whose tag is a
+   bare function parameter (``sendrecv``, ``exchange_with_neighbours``)
+   are excluded from the corpus.
+2. **Deadlock shape** — a blocking ``recv`` reachable only under a
+   rank-conditional branch, with no send in the same function whose tag
+   unifies.  The repo's sanctioned idiom is the *mirrored pair*: the
+   chain-neighbour exchanges guard both directions with ``left is not
+   None`` / ``rank > 0`` style conditions but send and receive the same
+   tag family inside one function, so every conditional recv has a
+   matching conditional send on the peer.
+3. **Collective divergence** — a rank-conditional ``if`` whose branches
+   execute different collective sequences (including a collective in
+   one branch only): some ranks would enter the collective and the rest
+   never would.
+
+Soundness limits: rank-conditionality is detected textually (names
+binding/derived from ``rank``) plus assignment taint; early-return rank
+guards (``if rank == 0: return``) are invisible, as is any dispatch the
+call graph cannot resolve.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.core import (
+    Finding,
+    FileContext,
+    ProjectChecker,
+    ProjectContext,
+    register_checker,
+)
+
+if TYPE_CHECKING:  # runtime import is lazy: flow imports this package
+    from repro.analysis.flow import CommCall, FunctionSummary
+
+
+@register_checker
+class SpmdProtocolChecker(ProjectChecker):
+    rule = "REP008"
+    title = "SPMD protocol: matched send/recv tags, rank-uniform collectives"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "parallel" in ctx.module_parts
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        scoped = self.scoped_paths(project)
+        graph = project.callgraph
+        functions = [
+            s for s in graph.functions.values() if s.path in scoped
+        ]
+        functions.sort(key=lambda s: (s.path, s.line))
+        yield from self._check_tag_corpus(functions)
+        for summary in functions:
+            yield from self._check_conditional_recv(summary)
+            yield from self._check_collective_divergence(summary)
+
+    # -------------------------------------------------- 1. tag matching
+    def _check_tag_corpus(
+        self, functions: "list[FunctionSummary]"
+    ) -> Iterator[Finding]:
+        from repro.analysis.flow.summaries import format_tag, tags_unify
+
+        sends: list[tuple[FunctionSummary, CommCall]] = []
+        recvs: list[tuple[FunctionSummary, CommCall]] = []
+        for summary in functions:
+            for cc in summary.comm_calls:
+                if cc.tag_is_param:
+                    continue  # generic forwarder, matched at its call sites
+                if cc.kind in ("send", "sendrecv"):
+                    sends.append((summary, cc))
+                if cc.kind in ("recv", "sendrecv"):
+                    recvs.append((summary, cc))
+        for summary, cc in sends:
+            if not any(tags_unify(cc.tag, r.tag) for _, r in recvs):
+                yield self._at(
+                    summary,
+                    cc,
+                    f"send tag {format_tag(cc.tag)} in '{summary.name}' "
+                    "unifies with no recv tag anywhere in repro.parallel — "
+                    "the message can never be consumed",
+                )
+        for summary, cc in recvs:
+            if not any(tags_unify(cc.tag, s.tag) for _, s in sends):
+                yield self._at(
+                    summary,
+                    cc,
+                    f"recv tag {format_tag(cc.tag)} in '{summary.name}' "
+                    "unifies with no send tag anywhere in repro.parallel — "
+                    "the receive blocks forever",
+                )
+
+    # ---------------------------------------------- 2. conditional recv
+    def _check_conditional_recv(
+        self, summary: "FunctionSummary"
+    ) -> Iterator[Finding]:
+        from repro.analysis.flow.summaries import format_tag, tags_unify
+
+        sends = [cc for cc in summary.comm_calls if cc.kind in ("send", "sendrecv")]
+        for cc in summary.comm_calls:
+            if cc.kind != "recv" or not cc.rank_conditional:
+                continue
+            if any(tags_unify(cc.tag, s.tag) for s in sends):
+                continue  # mirrored-pair idiom: peer runs the same code
+            yield self._at(
+                summary,
+                cc,
+                f"blocking recv {format_tag(cc.tag)} in '{summary.name}' is "
+                "reachable only under a rank-conditional branch and no send "
+                "in this function matches its tag — ranks that skip the "
+                "branch leave the sender's peer blocked (deadlock shape)",
+            )
+
+    # ----------------------------------------- 3. collective divergence
+    def _check_collective_divergence(
+        self, summary: "FunctionSummary"
+    ) -> Iterator[Finding]:
+        for branch in summary.rank_branches:
+            if branch.body_collectives == branch.else_collectives:
+                continue
+            body = self._fmt_seq(branch.body_collectives)
+            orelse = self._fmt_seq(branch.else_collectives)
+            yield Finding(
+                rule=self.rule,
+                path=summary.path,
+                line=branch.line,
+                col=branch.col,
+                message=(
+                    f"collective calls diverge across this rank-conditional "
+                    f"branch in '{summary.name}' (if-branch: {body}; "
+                    f"else: {orelse}) — collectives must be executed by all "
+                    "ranks in the same order"
+                ),
+            )
+
+    @staticmethod
+    def _fmt_seq(seq: tuple) -> str:
+        from repro.analysis.flow.summaries import format_tag
+
+        if not seq:
+            return "none"
+        return ", ".join(f"{kind}{format_tag(tag)}" for kind, tag in seq)
+
+    def _at(
+        self, summary: "FunctionSummary", cc: "CommCall", message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.rule,
+            path=summary.path,
+            line=cc.line,
+            col=cc.col,
+            message=message,
+        )

@@ -18,10 +18,14 @@ Architecture
 ------------
 A :class:`Checker` declares a rule id (``REP001`` …), decides which files
 it :meth:`~Checker.applies_to`, and yields :class:`Finding` objects from
-one parsed file (:class:`FileContext`).  Checkers self-register via
-:func:`register_checker`; :func:`run_analysis` drives every registered
-checker over a file tree, applies suppressions, and returns a
-:class:`Report`.
+one parsed file (:class:`FileContext`).  A :class:`ProjectChecker`
+instead receives the whole parsed tree at once (:class:`ProjectContext`,
+with a lazily built :mod:`repro.analysis.flow` call graph) — that is how
+the whole-program rules (REP008–REP010) see across file boundaries.
+Checkers self-register via :func:`register_checker`;
+:func:`run_analysis` drives every registered checker over a file tree,
+applies suppressions centrally, reports *unused* suppressions as
+``REP000``, and returns a :class:`Report`.
 
 Suppressions
 ------------
@@ -32,8 +36,10 @@ comment line directly above)::
 
 The reason string after ``--`` is **mandatory**: a suppression without
 one (or naming an unknown rule) is itself reported as ``REP000`` and
-cannot be suppressed.  This keeps every exception in the codebase
-self-documenting.
+cannot be suppressed.  A suppression whose rule ran but produced **no**
+finding on the covered line is also reported as ``REP000`` ("unused
+suppression"), so allows cannot rot in place once the code they excuse
+is gone.  This keeps every exception in the codebase self-documenting.
 """
 
 from __future__ import annotations
@@ -126,6 +132,48 @@ class Checker(abc.ABC):
             col=getattr(node, "col_offset", 0),
             message=message,
         )
+
+
+@dataclass
+class ProjectContext:
+    """Every parsed file of one analysis run, for project-level rules."""
+
+    root: Path
+    files: list[FileContext]
+    _callgraph: object = field(default=None, repr=False, compare=False)
+
+    @property
+    def callgraph(self):
+        """The whole-program :class:`repro.analysis.flow.CallGraph`,
+        built on first access and shared by every project checker."""
+        if self._callgraph is None:
+            from repro.analysis.flow import CallGraph  # lazy: heavy pass
+
+            self._callgraph = CallGraph.build(self.files)
+        return self._callgraph
+
+
+class ProjectChecker(Checker):
+    """A rule that needs to see all files at once (call-graph rules).
+
+    ``applies_to`` keeps its per-file meaning — it scopes which files
+    the rule may *report into* (and whether it runs at all); the checker
+    still sees the full :class:`ProjectContext` so chains may pass
+    through out-of-scope modules.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Project rules produce nothing per-file; the driver calls
+        :meth:`check_project` instead."""
+        return iter(())
+
+    @abc.abstractmethod
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        """Yield findings over the whole parsed tree."""
+
+    def scoped_paths(self, project: ProjectContext) -> set[str]:
+        """rel_paths of the files this rule reports into."""
+        return {c.rel_path for c in project.files if self.applies_to(c)}
 
 
 _CHECKERS: dict[str, type[Checker]] = {}
@@ -284,11 +332,11 @@ def iter_python_files(root: Path) -> Iterator[Path]:
     yield from sorted(p for p in root.rglob("*.py") if p.is_file())
 
 
-def analyze_file(
-    path: Path, root: Path, rules: Iterable[str] | None = None
-) -> list[Finding]:
-    """All findings (suppression-resolved) for one file."""
-    _ensure_checkers_loaded()
+def _parse_one(
+    path: Path, root: Path
+) -> tuple[FileContext | None, dict[int, Suppression], list[Finding]]:
+    """Parse one file: ``(ctx, suppressions, REP000 findings)``; *ctx*
+    is ``None`` (with a parse-error finding) for unparsable files."""
     source = path.read_text(encoding="utf-8")
     rel_path = (
         path.name if path == root else path.relative_to(root).as_posix()
@@ -296,51 +344,147 @@ def analyze_file(
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        return [
-            Finding(
-                rule=SUPPRESSION_RULE,
-                path=rel_path,
-                line=int(exc.lineno or 1),
-                col=int(exc.offset or 0),
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
+        finding = Finding(
+            rule=SUPPRESSION_RULE,
+            path=rel_path,
+            line=int(exc.lineno or 1),
+            col=int(exc.offset or 0),
+            message=f"file does not parse: {exc.msg}",
+        )
+        return None, {}, [finding]
     ctx = FileContext(path=path, rel_path=rel_path, source=source, tree=tree)
-    suppressions, findings = parse_suppressions(source, rel_path)
+    suppressions, errors = parse_suppressions(source, rel_path)
+    return ctx, suppressions, errors
+
+
+def analyze_file(
+    path: Path, root: Path, rules: Iterable[str] | None = None
+) -> list[Finding]:
+    """All findings (suppression-resolved) for one file.
+
+    Back-compat single-file entry point: per-file checkers only —
+    project rules and unused-suppression detection need the whole tree
+    and run in :func:`run_analysis`.
+    """
+    _ensure_checkers_loaded()
+    ctx, suppressions, findings = _parse_one(path, root)
+    if ctx is None:
+        return findings
     wanted = set(rules) if rules is not None else None
+    raw: list[Finding] = []
     for rule_id, cls in sorted(_CHECKERS.items()):
         if wanted is not None and rule_id not in wanted:
             continue
         checker = cls()
-        if not checker.applies_to(ctx):
+        if isinstance(checker, ProjectChecker) or not checker.applies_to(ctx):
             continue
-        for finding in checker.check(ctx):
-            supp = suppressions.get(finding.line)
-            if supp is not None and finding.rule in supp.rules:
-                finding = Finding(
-                    rule=finding.rule,
-                    path=finding.path,
-                    line=finding.line,
-                    col=finding.col,
-                    message=finding.message,
-                    suppressed=True,
-                    suppress_reason=supp.reason,
-                )
-            findings.append(finding)
+        raw.extend(checker.check(ctx))
+    findings.extend(
+        _apply_suppression(f, suppressions.get(f.line)) for f in raw
+    )
     return findings
+
+
+def _apply_suppression(
+    finding: Finding, supp: Suppression | None
+) -> Finding:
+    if supp is None or finding.rule not in supp.rules:
+        return finding
+    return Finding(
+        rule=finding.rule,
+        path=finding.path,
+        line=finding.line,
+        col=finding.col,
+        message=finding.message,
+        suppressed=True,
+        suppress_reason=supp.reason,
+    )
 
 
 def run_analysis(
     root: Path | str, rules: Iterable[str] | None = None
 ) -> Report:
-    """Run every (selected) checker over *root* (a file or directory)."""
+    """Run every (selected) checker over *root* (a file or directory).
+
+    Phases: parse everything, run per-file checkers, run project
+    checkers over the whole tree, apply suppressions centrally, then
+    report every *unused* suppression (a covered line where the named
+    rule ran but found nothing) as ``REP000``.
+    """
+    _ensure_checkers_loaded()
     root = Path(root)
     if not root.exists():
         raise FileNotFoundError(f"no such file or directory: {root}")
+    wanted = set(rules) if rules is not None else None
+
+    contexts: list[FileContext] = []
+    suppression_maps: dict[str, dict[int, Suppression]] = {}
     findings: list[Finding] = []
     n_files = 0
     for path in iter_python_files(root):
         n_files += 1
-        findings.extend(analyze_file(path, root, rules))
+        ctx, suppressions, errors = _parse_one(path, root)
+        findings.extend(errors)
+        if ctx is None:
+            continue
+        contexts.append(ctx)
+        suppression_maps[ctx.rel_path] = suppressions
+
+    executed: set[str] = set()
+    raw: list[Finding] = []
+    project: ProjectContext | None = None
+    for rule_id, cls in sorted(_CHECKERS.items()):
+        if wanted is not None and rule_id not in wanted:
+            continue
+        checker = cls()
+        executed.add(rule_id)
+        if isinstance(checker, ProjectChecker):
+            if any(checker.applies_to(ctx) for ctx in contexts):
+                if project is None:
+                    project = ProjectContext(root=root, files=contexts)
+                raw.extend(checker.check_project(project))
+        else:
+            for ctx in contexts:
+                if checker.applies_to(ctx):
+                    raw.extend(checker.check(ctx))
+
+    # Central suppression application, tracking which allows fired.
+    used: set[tuple[str, int, str]] = set()
+    for finding in raw:
+        supp = suppression_maps.get(finding.path, {}).get(finding.line)
+        resolved = _apply_suppression(finding, supp)
+        if resolved.suppressed:
+            used.add((finding.path, supp.line, finding.rule))
+        findings.append(resolved)
+
+    # Unused suppressions: the named rule ran and matched nothing on any
+    # line the comment covers.  Gated on *executed* so a --rules subset
+    # never flags allows for rules that were not run.
+    for rel_path, suppressions in suppression_maps.items():
+        seen_lines: set[int] = set()
+        for supp in suppressions.values():
+            if supp.line in seen_lines:
+                continue  # the same comment covers two lines
+            seen_lines.add(supp.line)
+            stale = [
+                r
+                for r in supp.rules
+                if r in executed and (rel_path, supp.line, r) not in used
+            ]
+            if stale:
+                findings.append(
+                    Finding(
+                        rule=SUPPRESSION_RULE,
+                        path=rel_path,
+                        line=supp.line,
+                        col=0,
+                        message=(
+                            f"unused suppression: {', '.join(stale)} "
+                            "produced no finding on this line; delete the "
+                            "allow (or fix its rule list)"
+                        ),
+                    )
+                )
+
     findings.sort(key=Finding.sort_key)
     return Report(root=str(root), files_scanned=n_files, findings=findings)

@@ -1,0 +1,45 @@
+"""``repro.analysis.flow`` — whole-program call graph and summaries.
+
+Per-file checkers see one :class:`~repro.analysis.core.FileContext` at a
+time; the concurrency rules (REP008–REP010) need to reason about what a
+function *reaches*, not just what it contains.  This subpackage builds
+that view in two layers:
+
+- :mod:`repro.analysis.flow.summaries` condenses every function into a
+  :class:`FunctionSummary`: does it allocate, block, await, talk to a
+  communicator (with which tag, under which rank condition)?
+- :mod:`repro.analysis.flow.callgraph` links the summaries into a
+  :class:`CallGraph` by resolving call sites through import maps, module
+  locals and ``self.``/``cls.`` method lookup, and offers BFS
+  reachability over the resolved edges.
+
+The graph is deliberately *unsound* in the directions Python makes
+undecidable — dynamic dispatch through arbitrary attribute chains
+(``self.backend.step``), ``getattr``, callables passed as values
+(``asyncio.to_thread(fn)`` creates **no** edge) — and sound enough for
+the repo's own idioms; docs/STATIC_ANALYSIS.md spells out the limits.
+"""
+
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.summaries import (
+    AllocSite,
+    BlockSite,
+    CallSite,
+    CommCall,
+    FunctionSummary,
+    RankBranch,
+    summarize_file,
+    tags_unify,
+)
+
+__all__ = [
+    "AllocSite",
+    "BlockSite",
+    "CallGraph",
+    "CallSite",
+    "CommCall",
+    "FunctionSummary",
+    "RankBranch",
+    "summarize_file",
+    "tags_unify",
+]

@@ -1,0 +1,235 @@
+"""Project-wide call graph over :class:`FunctionSummary` nodes.
+
+Resolution covers the repo's static idioms:
+
+- bare names: same-module top-level functions, then the file's import
+  map (``from repro.api import run`` makes ``run(...)`` an edge to
+  ``repro.api.run``);
+- ``self.x(...)`` / ``cls.x(...)``: methods of the enclosing class,
+  then base classes (by textual base name, transitively within the
+  scanned tree);
+- dotted names: the leftmost segment through the import map
+  (``halo.exchange_f`` after ``from repro.parallel import halo``), with
+  fully-qualified spellings accepted as-is;
+- calls to a scanned class resolve to its ``__init__``.
+
+Everything else — arbitrary attribute chains (``self.backend.step``),
+``getattr``, callables passed as values — stays unresolved: a
+documented soundness limit, not a bug (see docs/STATIC_ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Callable, Iterable, Iterator
+
+from repro.analysis.core import FileContext
+from repro.analysis.flow.summaries import CallSite, FunctionSummary, summarize_file
+
+
+def module_name(rel_path: str) -> str:
+    """Dotted module for a scan-relative path; a leading ``src/`` is
+    dropped so scans rooted at the repo root and at ``src/`` agree."""
+    parts = list(PurePosixPath(rel_path).parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _import_map(tree: ast.Module, module: str, is_package: bool) -> dict[str, str]:
+    """Local binding -> fully-qualified dotted name for one file."""
+    imports: dict[str, str] = {}
+    pkg_parts = module.split(".") if is_package else module.split(".")[:-1]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    imports[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+                base = ".".join(base_parts)
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                imports[bound] = f"{base}.{alias.name}" if base else alias.name
+    return imports
+
+
+@dataclass
+class _ModuleInfo:
+    module: str
+    rel_path: str
+    imports: dict[str, str]
+    class_bases: dict[str, list[str]]
+
+
+@dataclass
+class CallGraph:
+    """Resolved call graph for one analysis run."""
+
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+    #: class qualname -> {method name -> function qualname}
+    methods: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: class qualname -> resolved base class qualnames
+    bases: dict[str, list[str]] = field(default_factory=dict)
+    modules: dict[str, _ModuleInfo] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, files: Iterable[FileContext]) -> "CallGraph":
+        graph = cls()
+        infos: list[tuple[FileContext, _ModuleInfo]] = []
+        for ctx in files:
+            module = module_name(ctx.rel_path)
+            is_package = PurePosixPath(ctx.rel_path).name == "__init__.py"
+            info = _ModuleInfo(
+                module=module,
+                rel_path=ctx.rel_path,
+                imports=_import_map(ctx.tree, module, is_package),
+                class_bases={},
+            )
+            summaries, class_bases = summarize_file(ctx, module)
+            info.class_bases = class_bases
+            graph.modules[module] = info
+            infos.append((ctx, info))
+            for summary in summaries:
+                graph.functions[summary.qualname] = summary
+                if summary.class_name:
+                    class_qual = f"{module}.{summary.class_name}"
+                    graph.methods.setdefault(class_qual, {})[
+                        summary.name
+                    ] = summary.qualname
+        # Resolve textual base names to class qualnames.
+        for ctx, info in infos:
+            for class_name, base_texts in info.class_bases.items():
+                class_qual = f"{info.module}.{class_name}"
+                graph.methods.setdefault(class_qual, {})
+                resolved: list[str] = []
+                for text in base_texts:
+                    base_qual = graph._resolve_class(text, info)
+                    if base_qual is not None:
+                        resolved.append(base_qual)
+                graph.bases[class_qual] = resolved
+        # Resolve every call site.
+        for summary in graph.functions.values():
+            info = graph.modules[summary.module]
+            for call in summary.calls:
+                call.resolved = graph._resolve_call(summary, call, info)
+        return graph
+
+    # ------------------------------------------------------------ resolution
+    def _resolve_class(self, text: str, info: _ModuleInfo) -> str | None:
+        if "." not in text:
+            local = f"{info.module}.{text}"
+            if local in self.methods:
+                return local
+            qual = info.imports.get(text)
+            return qual if qual in self.methods else None
+        head, rest = text.split(".", 1)
+        root = info.imports.get(head)
+        if root is not None:
+            qual = f"{root}.{rest}"
+            if qual in self.methods:
+                return qual
+        return text if text in self.methods else None
+
+    def _method_on(self, class_qual: str, name: str) -> str | None:
+        """Look *name* up on the class, then its (scanned) bases."""
+        seen: set[str] = set()
+        queue = deque([class_qual])
+        while queue:
+            cq = queue.popleft()
+            if cq in seen:
+                continue
+            seen.add(cq)
+            qual = self.methods.get(cq, {}).get(name)
+            if qual is not None:
+                return qual
+            queue.extend(self.bases.get(cq, ()))
+        return None
+
+    def _resolve_call(
+        self, caller: FunctionSummary, call: CallSite, info: _ModuleInfo
+    ) -> str | None:
+        parts = call.text.split(".")
+        if parts[0] in ("self", "cls") and caller.class_name:
+            if len(parts) != 2:
+                return None  # self.a.b(...): dynamic dispatch, unresolved
+            class_qual = f"{caller.module}.{caller.class_name}"
+            return self._method_on(class_qual, parts[1])
+        if len(parts) == 1:
+            name = parts[0]
+            local = f"{caller.module}.{name}"
+            if local in self.functions:
+                return local
+            qual = info.imports.get(name)
+            if qual is None:
+                return None
+            return self._as_callable(qual)
+        root = info.imports.get(parts[0])
+        if root is not None:
+            qual = ".".join([root, *parts[1:]])
+            resolved = self._as_callable(qual)
+            if resolved is not None:
+                return resolved
+        return self._as_callable(call.text)
+
+    def _as_callable(self, qual: str) -> str | None:
+        if qual in self.functions:
+            return qual
+        if qual in self.methods:  # instantiating a scanned class
+            return self.methods[qual].get("__init__")
+        return None
+
+    # ---------------------------------------------------------- reachability
+    def reachable_calls(
+        self,
+        root: str,
+        *,
+        enter: Callable[[FunctionSummary], bool] | None = None,
+    ) -> Iterator[tuple[CallSite, FunctionSummary, tuple[str, ...]]]:
+        """BFS over resolved edges from *root* (a function qualname).
+
+        Yields ``(first_site, callee, chain)`` for every function
+        reachable through resolved calls, where *first_site* is the call
+        site **in the root function** that begins the chain (so findings
+        can anchor where a suppression is actionable) and *chain* is the
+        qualname path from root to callee.  *enter* gates traversal
+        *into* a yielded callee (it is yielded either way); each callee
+        is yielded once, via its first-discovered chain.
+        """
+        start = self.functions.get(root)
+        if start is None:
+            return
+        visited: set[str] = {root}
+        queue: deque[
+            tuple[FunctionSummary, CallSite | None, tuple[str, ...]]
+        ] = deque([(start, None, (root,))])
+        while queue:
+            current, first_site, chain = queue.popleft()
+            for call in current.calls:
+                if call.resolved is None or call.resolved in visited:
+                    continue
+                callee = self.functions.get(call.resolved)
+                if callee is None:
+                    continue
+                visited.add(call.resolved)
+                site = first_site if first_site is not None else call
+                yield site, callee, chain + (call.resolved,)
+                if enter is None or enter(callee):
+                    queue.append((callee, site, chain + (call.resolved,)))

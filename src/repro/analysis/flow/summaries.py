@@ -1,0 +1,527 @@
+"""Per-function summaries: the facts the project-level rules consume.
+
+One :func:`summarize_file` pass walks a parsed module and condenses every
+top-level function and method into a :class:`FunctionSummary` recording
+
+- every call site (with awaited/scheduled flags, for REP009),
+- every allocating NumPy call (REP001's detection sets, for REP010),
+- every blocking call (``time.sleep``, ``subprocess``, file I/O, for
+  REP009),
+- every communicator call with its normalized tag and whether it sits
+  under a rank-conditional branch (for REP008), and
+- rank-conditional ``if`` branches with their collective-call sequences
+  (for REP008's order-divergence check).
+
+Nested ``def``s are folded into their enclosing function — the same
+jurisdiction REP001 uses — so the call graph stays first-order.
+
+Tag normalization
+-----------------
+A communicator tag is summarized element-wise: literal constants become
+``("c", repr(value))``, anything dynamic becomes the wildcard ``"*"``,
+and a tag that is just a forwarded function parameter (the generic
+``sendrecv``/``exchange_with_neighbours`` shape) is recorded as
+``tag=None`` with ``tag_is_param=True`` so protocol matching can skip
+generic forwarders while still letting them satisfy the in-function
+mirrored-send exemption.  :func:`tags_unify` is the matching relation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.checkers._astutil import (
+    chain_attrs,
+    decorator_names,
+    dotted_name,
+    has_kwarg,
+    is_numpy_call,
+)
+from repro.analysis.checkers.hotpath import (
+    ALLOC_CONSTRUCTORS,
+    ALLOC_METHODS,
+    HOT_DECORATOR,
+    OUT_REQUIRED,
+)
+from repro.analysis.core import FileContext
+
+#: Identifiers treated as "the rank" when deciding whether a branch is
+#: rank-conditional (``rank``, ``_rank``, ``my_rank``, ``self.rank`` …).
+_RANK_NAME_RE = re.compile(r"^_*\w*rank$")
+
+#: Dotted callables that block the calling thread.
+BLOCKING_DOTTED = {
+    "time.sleep",
+    "os.system",
+    "io.open",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "socket.create_connection",
+}
+
+#: Bare callables that block (builtins).
+BLOCKING_BARE = {"open", "input"}
+
+#: Method names that perform file I/O on path-like receivers.
+BLOCKING_METHODS = {"read_text", "read_bytes", "write_text", "write_bytes"}
+
+#: Call wrappers that *schedule* a coroutine rather than awaiting it.
+SCHEDULING_CALLS = {"create_task", "ensure_future", "gather", "wait", "as_completed"}
+
+#: Reused from REP002: anything whose name smells like a mutex.
+_LOCKLIKE_RE = re.compile(r"lock|mutex|barrier|semaphore", re.IGNORECASE)
+
+#: Communicator collective kinds (must be rank-uniform).
+COLLECTIVE_KINDS = ("allgather", "barrier")
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    text: str  # dotted callee as written ("self._feq", "np.zeros", "run")
+    line: int
+    col: int
+    awaited: bool = False
+    scheduled: bool = False
+    bare_expr: bool = False  # the call is a whole Expr statement
+    resolved: str | None = None  # qualname, filled by CallGraph
+
+
+@dataclass(frozen=True)
+class AllocSite:
+    """A NumPy allocation by REP001's detection sets."""
+
+    line: int
+    col: int
+    what: str  # e.g. "np.zeros()" or ".astype()"
+
+
+@dataclass(frozen=True)
+class BlockSite:
+    """A call that blocks the calling thread."""
+
+    line: int
+    col: int
+    what: str  # e.g. "time.sleep()"
+
+
+@dataclass(frozen=True)
+class CommCall:
+    """One communicator call with its normalized tag."""
+
+    kind: str  # send | recv | sendrecv | allgather | barrier
+    line: int
+    col: int
+    tag: tuple | None  # normalized elements, None = full wildcard
+    tag_is_param: bool  # tag is a bare function parameter (forwarder)
+    rank_conditional: bool  # under an if/while/ternary testing the rank
+
+
+@dataclass(frozen=True)
+class RankBranch:
+    """A rank-conditional ``if`` with the collectives of each branch."""
+
+    line: int
+    col: int
+    body_collectives: tuple  # ordered (kind, tag) pairs
+    else_collectives: tuple
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the project rules need to know about one function."""
+
+    qualname: str  # module.[Class.]name
+    module: str
+    name: str
+    class_name: str | None
+    path: str  # rel_path of the defining file
+    line: int
+    is_async: bool
+    is_hot: bool
+    has_await: bool
+    params: tuple[str, ...]
+    node: ast.FunctionDef | ast.AsyncFunctionDef = field(repr=False, default=None)
+    calls: list[CallSite] = field(default_factory=list)
+    allocations: list[AllocSite] = field(default_factory=list)
+    blocking: list[BlockSite] = field(default_factory=list)
+    comm_calls: list[CommCall] = field(default_factory=list)
+    rank_branches: list[RankBranch] = field(default_factory=list)
+    #: ``(line, col, context text)`` of sync ``with <lock>`` held across an await.
+    sync_locks_across_await: list[tuple[int, int, str]] = field(default_factory=list)
+
+
+def tags_unify(a: tuple | None, b: tuple | None) -> bool:
+    """Whether two normalized tags can name the same message."""
+    if a is None or b is None:
+        return True
+    if len(a) != len(b):
+        return False
+    for ea, eb in zip(a, b):
+        if ea == "*" or eb == "*":
+            continue
+        if ea != eb:
+            return False
+    return True
+
+
+def format_tag(tag: tuple | None) -> str:
+    """Human form of a normalized tag for messages."""
+    if tag is None:
+        return "<dynamic>"
+    parts = [e[1] if isinstance(e, tuple) else "*" for e in tag]
+    return "(" + ", ".join(parts) + ")"
+
+
+def _mentions_rank(node: ast.AST, tainted: set[str]) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and (
+            _RANK_NAME_RE.match(sub.id) or sub.id in tainted
+        ):
+            return True
+        if isinstance(sub, ast.Attribute) and _RANK_NAME_RE.match(sub.attr):
+            return True
+    return False
+
+
+def _taint_rank_locals(fn: ast.AST) -> set[str]:
+    """Local names whose value derives from the rank (fixpoint over
+    assignments, tuple targets matched element-wise so ``rank, size =
+    comm.rank, comm.size`` taints only ``rank``)."""
+    tainted: set[str] = set()
+    assignments: list[tuple[ast.AST, ast.AST]] = []  # (target, value)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Tuple)
+                    and isinstance(node.value, ast.Tuple)
+                    and len(target.elts) == len(node.value.elts)
+                ):
+                    assignments.extend(zip(target.elts, node.value.elts))
+                else:
+                    assignments.append((target, node.value))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)) and node.value:
+            assignments.append((node.target, node.value))
+        elif isinstance(node, ast.NamedExpr):
+            assignments.append((node.target, node.value))
+    changed = True
+    while changed:
+        changed = False
+        for target, value in assignments:
+            if not _mentions_rank(value, tainted):
+                continue
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name) and sub.id not in tainted:
+                    tainted.add(sub.id)
+                    changed = True
+    return tainted
+
+
+def _is_commish(receiver: ast.AST) -> bool:
+    """Heuristic for barrier(): the receiver must look like a communicator."""
+    text = dotted_name(receiver) or ""
+    return bool(re.search(r"comm|world", text, re.IGNORECASE)) or text in (
+        "self",
+        "cls",
+    )
+
+
+def _classify_comm(call: ast.Call) -> tuple[str, ast.AST | None] | None:
+    """``(kind, tag_node)`` when *call* is a communicator call.
+
+    Arity gates keep ``multiprocessing`` pipe ``conn.send(obj)`` /
+    ``conn.recv()`` out of the corpus: the Communicator API always takes
+    an explicit tag argument.
+    """
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    meth = func.attr
+    args = call.args
+    if meth == "send" and len(args) >= 3:
+        return "send", args[1]
+    if meth == "recv" and len(args) >= 2:
+        return "recv", args[1]
+    if meth == "sendrecv" and len(args) >= 4:
+        return "sendrecv", args[3]
+    if meth == "allgather" and len(args) >= 2:
+        return "allgather", args[1]
+    if meth == "barrier" and not args and _is_commish(func.value):
+        return "barrier", None
+    return None
+
+
+def _normalize_tag(
+    tag_node: ast.AST | None, params: set[str]
+) -> tuple[tuple | None, bool]:
+    """``(tag, tag_is_param)`` — see the module docstring."""
+    if tag_node is None:
+        return None, False
+    if isinstance(tag_node, ast.Name) and tag_node.id in params:
+        return None, True
+    if isinstance(tag_node, ast.Tuple):
+        elements = []
+        for el in tag_node.elts:
+            if isinstance(el, ast.Constant):
+                elements.append(("c", repr(el.value)))
+            else:
+                elements.append("*")
+        return tuple(elements), False
+    if isinstance(tag_node, ast.Constant):
+        return (("c", repr(tag_node.value)),), False
+    return None, False
+
+
+def _alloc_of(call: ast.Call) -> str | None:
+    """REP001's allocation classification, reused verbatim."""
+    ctor = is_numpy_call(call, ALLOC_CONSTRUCTORS)
+    if ctor is not None:
+        return f"{ctor}()"
+    ufunc = is_numpy_call(call, OUT_REQUIRED)
+    if ufunc is not None and not has_kwarg(call, "out"):
+        return f"{ufunc}() without out="
+    attrs = chain_attrs(call.func)
+    if attrs and attrs[-1] in ALLOC_METHODS:
+        return f".{attrs[-1]}()"
+    return None
+
+
+def _blocking_of(call: ast.Call) -> str | None:
+    dotted = dotted_name(call.func)
+    if dotted in BLOCKING_DOTTED:
+        return f"{dotted}()"
+    if isinstance(call.func, ast.Name) and call.func.id in BLOCKING_BARE:
+        return f"{call.func.id}()"
+    if isinstance(call.func, ast.Attribute) and call.func.attr in BLOCKING_METHODS:
+        return f".{call.func.attr}()"
+    return None
+
+
+class _FunctionScanner:
+    """One recursive pass over a function body, tracking the enclosing
+    rank-conditional state and skipping nested ``def``s' *own* defs
+    (their bodies fold into this summary, like REP001)."""
+
+    def __init__(self, summary: FunctionSummary, fn: ast.AST):
+        self.summary = summary
+        self.params = set(summary.params)
+        self.tainted = _taint_rank_locals(fn)
+        self.awaited_ids: set[int] = set()
+        self.scheduled_ids: set[int] = set()
+        self.bare_expr_ids: set[int] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+                self.awaited_ids.add(id(node.value))
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                self.bare_expr_ids.add(id(node.value))
+            if isinstance(node, ast.Call):
+                target = dotted_name(node.func) or ""
+                if target.rsplit(".", 1)[-1] in SCHEDULING_CALLS:
+                    for arg in node.args:
+                        if isinstance(arg, ast.Call):
+                            self.scheduled_ids.add(id(arg))
+
+    def _test_is_rank(self, test: ast.AST) -> bool:
+        return _mentions_rank(test, self.tainted)
+
+    def scan(self, fn: ast.AST) -> None:
+        for stmt in getattr(fn, "body", []):
+            self._visit(stmt, rank_cond=False)
+
+    def _visit(self, node: ast.AST, rank_cond: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested def: its body folds into this summary at the same
+            # conditional depth (it may only run when called, but the
+            # comm/alloc facts still belong to this function's region).
+            for stmt in node.body:
+                self._visit(stmt, rank_cond)
+            return
+        if isinstance(node, ast.If):
+            tainted_test = self._test_is_rank(node.test)
+            self._visit(node.test, rank_cond)
+            if tainted_test:
+                self.summary.rank_branches.append(
+                    RankBranch(
+                        line=node.lineno,
+                        col=node.col_offset,
+                        body_collectives=tuple(self._collectives(node.body)),
+                        else_collectives=tuple(self._collectives(node.orelse)),
+                    )
+                )
+            for stmt in node.body:
+                self._visit(stmt, rank_cond or tainted_test)
+            for stmt in node.orelse:
+                self._visit(stmt, rank_cond or tainted_test)
+            return
+        if isinstance(node, ast.IfExp):
+            tainted_test = self._test_is_rank(node.test)
+            self._visit(node.test, rank_cond)
+            self._visit(node.body, rank_cond or tainted_test)
+            self._visit(node.orelse, rank_cond or tainted_test)
+            return
+        if isinstance(node, ast.While):
+            tainted_test = self._test_is_rank(node.test)
+            self._visit(node.test, rank_cond)
+            for stmt in node.body:
+                self._visit(stmt, rank_cond or tainted_test)
+            for stmt in node.orelse:
+                self._visit(stmt, rank_cond)
+            return
+        if isinstance(node, ast.Call):
+            self._record_call(node, rank_cond)
+        if isinstance(node, ast.With) and self.summary.is_async:
+            self._check_lock_across_await(node)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, rank_cond)
+
+    def _collectives(self, stmts: list[ast.stmt]) -> list[tuple]:
+        """Ordered ``(kind, tag)`` of every collective in *stmts*."""
+        out: list[tuple] = []
+
+        def rec(node: ast.AST) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return
+            if isinstance(node, ast.Call):
+                comm = _classify_comm(node)
+                if comm is not None and comm[0] in COLLECTIVE_KINDS:
+                    tag, _ = _normalize_tag(comm[1], self.params)
+                    out.append((comm[0], tag))
+            for child in ast.iter_child_nodes(node):
+                rec(child)
+
+        for stmt in stmts:
+            rec(stmt)
+        return out
+
+    def _record_call(self, call: ast.Call, rank_cond: bool) -> None:
+        comm = _classify_comm(call)
+        if comm is not None:
+            kind, tag_node = comm
+            tag, is_param = _normalize_tag(tag_node, self.params)
+            self.summary.comm_calls.append(
+                CommCall(
+                    kind=kind,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    tag=tag,
+                    tag_is_param=is_param,
+                    rank_conditional=rank_cond,
+                )
+            )
+        alloc = _alloc_of(call)
+        if alloc is not None:
+            self.summary.allocations.append(
+                AllocSite(line=call.lineno, col=call.col_offset, what=alloc)
+            )
+        blocking = _blocking_of(call)
+        if blocking is not None:
+            self.summary.blocking.append(
+                BlockSite(line=call.lineno, col=call.col_offset, what=blocking)
+            )
+        text = dotted_name(call.func)
+        if text is not None:
+            self.summary.calls.append(
+                CallSite(
+                    text=text,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    awaited=id(call) in self.awaited_ids,
+                    scheduled=id(call) in self.scheduled_ids,
+                    bare_expr=id(call) in self.bare_expr_ids,
+                )
+            )
+
+    def _check_lock_across_await(self, node: ast.With) -> None:
+        for item in node.items:
+            text = ast.unparse(item.context_expr)
+            if not _LOCKLIKE_RE.search(text):
+                continue
+            if any(
+                isinstance(sub, ast.Await)
+                for stmt in node.body
+                for sub in _walk_no_defs(stmt)
+            ):
+                self.summary.sync_locks_across_await.append(
+                    (node.lineno, node.col_offset, text)
+                )
+            break
+
+
+def _walk_no_defs(node: ast.AST):
+    yield node
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield from _walk_no_defs(child)
+
+
+def _summarize_function(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    *,
+    module: str,
+    class_name: str | None,
+    path: str,
+) -> FunctionSummary:
+    qual = (
+        f"{module}.{class_name}.{fn.name}" if class_name else f"{module}.{fn.name}"
+    )
+    args = fn.args
+    params = tuple(
+        a.arg
+        for a in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+    )
+    summary = FunctionSummary(
+        qualname=qual,
+        module=module,
+        name=fn.name,
+        class_name=class_name,
+        path=path,
+        line=fn.lineno,
+        is_async=isinstance(fn, ast.AsyncFunctionDef),
+        is_hot=HOT_DECORATOR in decorator_names(fn),
+        has_await=any(isinstance(n, ast.Await) for n in ast.walk(fn)),
+        params=params,
+        node=fn,
+    )
+    _FunctionScanner(summary, fn).scan(fn)
+    return summary
+
+
+def summarize_file(
+    ctx: FileContext, module: str
+) -> tuple[list[FunctionSummary], dict[str, list[str]]]:
+    """Summaries for every top-level function and method in *ctx*, plus
+    ``class name -> textual base names`` for method resolution."""
+    summaries: list[FunctionSummary] = []
+    class_bases: dict[str, list[str]] = {}
+    for node in ctx.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            summaries.append(
+                _summarize_function(
+                    node, module=module, class_name=None, path=ctx.rel_path
+                )
+            )
+        elif isinstance(node, ast.ClassDef):
+            class_bases[node.name] = [
+                b for b in (dotted_name(base) for base in node.bases) if b
+            ]
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    summaries.append(
+                        _summarize_function(
+                            item,
+                            module=module,
+                            class_name=node.name,
+                            path=ctx.rel_path,
+                        )
+                    )
+    return summaries, class_bases

@@ -422,8 +422,8 @@ class BatchedBackend(KernelBackend):
                 xp.multiply(rho_l[:, c], psi_m, out=psis[:, c])
         else:
             for c in range(C):
-                # repro: allow[REP001] -- arbitrary psi callables allocate;
-                # the identity fast path above is the ensemble hot loop
+                # Arbitrary psi callables allocate (invisible to REP001's
+                # numpy sets); the identity fast path above is the hot loop.
                 psis[:, c, ...] = self.psi(rho_l[:, c])
                 psis[:, c] *= psi_m
 

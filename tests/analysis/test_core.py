@@ -24,6 +24,9 @@ def test_registry_has_all_rules():
         "REP005",
         "REP006",
         "REP007",
+        "REP008",
+        "REP009",
+        "REP010",
     }
     assert all(rules.values()), "every rule needs a title"
 
@@ -165,6 +168,62 @@ def test_suppression_for_wrong_rule_does_not_silence(analyze):
         rules=["REP004"],
     )
     assert [f.rule for f in report.unsuppressed] == ["REP004"]
+
+
+def test_unused_suppression_is_reported_as_rep000(analyze):
+    report = analyze(
+        """\
+        import numpy as np
+
+        x = np.zeros(3, dtype=np.float64)  # repro: allow[REP004] -- nothing fires here
+        """,
+        rules=["REP004"],
+    )
+    assert [f.rule for f in report.unsuppressed] == ["REP000"]
+    assert "unused suppression" in report.unsuppressed[0].message
+    assert "REP004" in report.unsuppressed[0].message
+
+
+def test_used_suppression_is_not_flagged_unused(analyze):
+    report = analyze(
+        """\
+        import numpy as np
+
+        x = np.zeros(3)  # repro: allow[REP004] -- fixture exercises suppression
+        """,
+        rules=["REP004"],
+    )
+    assert report.unsuppressed == []
+    assert [f.rule for f in report.suppressed] == ["REP004"]
+
+
+def test_unused_suppression_not_flagged_when_rule_not_selected(analyze):
+    # --rules subsets must never flag allows for rules that did not run.
+    report = analyze(
+        """\
+        import numpy as np
+
+        x = np.zeros(3, dtype=np.float64)  # repro: allow[REP004] -- REP004 not selected
+        """,
+        rules=["REP003"],
+    )
+    assert report.findings == []
+
+
+def test_standalone_unused_suppression_reported_once(analyze):
+    # A standalone comment covers two lines (its own and the statement
+    # below); staleness must still be reported once, at the comment.
+    report = analyze(
+        """\
+        import numpy as np
+
+        # repro: allow[REP004] -- stale standalone comment
+        x = np.zeros(3, dtype=np.float64)
+        """,
+        rules=["REP004"],
+    )
+    assert [f.rule for f in report.unsuppressed] == ["REP000"]
+    assert report.unsuppressed[0].line == 3
 
 
 def test_rule_selection_filters_checkers(analyze):

@@ -1,0 +1,206 @@
+"""Unit coverage for the call-graph layer (summaries + resolution)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis.core import FileContext
+from repro.analysis.flow import CallGraph, summarize_file, tags_unify
+from repro.analysis.flow.callgraph import module_name
+
+
+def _ctx(source: str, rel: str = "repro/mod.py") -> FileContext:
+    src = textwrap.dedent(source)
+    return FileContext(
+        path=Path("/nonexistent") / rel,
+        rel_path=rel,
+        source=src,
+        tree=ast.parse(src),
+    )
+
+
+def _graph(*files: tuple[str, str]) -> CallGraph:
+    return CallGraph.build([_ctx(src, rel) for rel, src in files])
+
+
+# ------------------------------------------------------------ module names
+def test_module_name_strips_src_and_init():
+    assert module_name("repro/parallel/api.py") == "repro.parallel.api"
+    assert module_name("src/repro/api.py") == "repro.api"
+    assert module_name("repro/serve/__init__.py") == "repro.serve"
+
+
+# -------------------------------------------------------------- summaries
+def test_summary_records_async_hot_and_await():
+    (summaries, _) = summarize_file(
+        _ctx(
+            """\
+            from repro.util.hotpath import hot_path
+
+            @hot_path
+            def kernel(f):
+                return f
+
+            async def client(sched):
+                return await sched.submit(1)
+            """
+        ),
+        "repro.mod",
+    )
+    by_name = {s.name: s for s in summaries}
+    assert by_name["kernel"].is_hot and not by_name["kernel"].is_async
+    assert by_name["client"].is_async and by_name["client"].has_await
+    (call,) = [c for c in by_name["client"].calls if c.text == "sched.submit"]
+    assert call.awaited
+
+
+def test_summary_normalizes_comm_tags():
+    (summaries, _) = summarize_file(
+        _ctx(
+            """\
+            def exchange(comm, phase, payload):
+                comm.send(1, ("halo", phase, "R"), payload)
+                return comm.recv(0, ("halo", phase, "R"))
+
+            def forwarder(comm, tag, payload):
+                comm.send(1, tag, payload)
+            """
+        ),
+        "repro.mod",
+    )
+    exchange, forwarder = summaries
+    send, recv = exchange.comm_calls
+    assert send.kind == "send" and recv.kind == "recv"
+    assert send.tag == (("c", "'halo'"), "*", ("c", "'R'"))
+    assert tags_unify(send.tag, recv.tag)
+    (fwd,) = forwarder.comm_calls
+    assert fwd.tag_is_param and fwd.tag is None
+
+
+def test_pipe_send_recv_are_not_communicator_calls():
+    (summaries, _) = summarize_file(
+        _ctx(
+            """\
+            def pump(conn):
+                conn.send((1, 2))
+                return conn.recv()
+            """
+        ),
+        "repro.mod",
+    )
+    assert summaries[0].comm_calls == []
+
+
+def test_rank_conditional_marking_propagates_through_locals():
+    (summaries, _) = summarize_file(
+        _ctx(
+            """\
+            def step(comm, payload):
+                rank, size = comm.rank, comm.size
+                left = rank - 1 if rank > 0 else None
+                if left is not None:
+                    comm.send(left, ("t", 0), payload)
+                if size > 0:
+                    comm.recv(0, ("t", 0))
+            """
+        ),
+        "repro.mod",
+    )
+    send, recv = summaries[0].comm_calls
+    assert send.rank_conditional, "left derives from rank"
+    assert not recv.rank_conditional, "size is not the rank"
+
+
+# ------------------------------------------------------------- resolution
+def test_resolves_local_imported_and_method_calls():
+    graph = _graph(
+        (
+            "repro/a.py",
+            """\
+            def helper():
+                return 1
+
+            class Base:
+                def shared(self):
+                    return 2
+
+            class Impl(Base):
+                def entry(self):
+                    helper()
+                    self.shared()
+                    return other_mod_call()
+            """,
+        ),
+        (
+            "repro/b.py",
+            """\
+            from repro.a import helper
+
+            def caller():
+                return helper()
+            """,
+        ),
+    )
+    entry = graph.functions["repro.a.Impl.entry"]
+    resolved = {c.text: c.resolved for c in entry.calls}
+    assert resolved["helper"] == "repro.a.helper"
+    assert resolved["self.shared"] == "repro.a.Base.shared"
+    assert resolved["other_mod_call"] is None
+    caller = graph.functions["repro.b.caller"]
+    assert caller.calls[0].resolved == "repro.a.helper"
+
+
+def test_callable_passed_by_reference_creates_no_edge():
+    graph = _graph(
+        (
+            "repro/a.py",
+            """\
+            import asyncio
+
+            def sync_work():
+                return 1
+
+            async def dispatch():
+                return await asyncio.to_thread(sync_work)
+            """,
+        ),
+    )
+    reached = [
+        callee.qualname
+        for _, callee, _ in graph.reachable_calls("repro.a.dispatch")
+    ]
+    assert "repro.a.sync_work" not in reached
+
+
+def test_reachable_calls_follows_chains_and_anchors_first_site():
+    graph = _graph(
+        (
+            "repro/a.py",
+            """\
+            def leaf():
+                return 1
+
+            def middle():
+                return leaf()
+
+            def root():
+                return middle()
+            """,
+        ),
+    )
+    edges = {
+        callee.qualname: (site.line, chain)
+        for site, callee, chain in graph.reachable_calls("repro.a.root")
+    }
+    assert set(edges) == {"repro.a.middle", "repro.a.leaf"}
+    root_call_line = edges["repro.a.middle"][0]
+    assert edges["repro.a.leaf"][0] == root_call_line, (
+        "findings anchor at the call site inside the root function"
+    )
+    assert edges["repro.a.leaf"][1] == (
+        "repro.a.root",
+        "repro.a.middle",
+        "repro.a.leaf",
+    )

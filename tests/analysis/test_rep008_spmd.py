@@ -1,0 +1,168 @@
+"""REP008: SPMD protocol — tag matching, deadlock shapes, collectives."""
+
+from __future__ import annotations
+
+
+def _rep008(report):
+    return [f for f in report.unsuppressed if f.rule == "REP008"]
+
+
+# ----------------------------------------------------------------- failing
+def test_orphan_send_tag_is_flagged(analyze):
+    report = analyze(
+        """\
+        def talk(comm, payload):
+            comm.send(1, ("orphan_send", 0), payload)
+            return comm.recv(1, ("matched", 0))
+
+        def peer(comm, payload):
+            comm.send(0, ("matched", 0), payload)
+        """,
+        rel="repro/parallel/proto.py",
+        rules=["REP008"],
+    )
+    (finding,) = _rep008(report)
+    assert "orphan_send" in finding.message
+    assert "no recv tag" in finding.message
+
+
+def test_orphan_recv_tag_is_flagged(analyze):
+    report = analyze(
+        """\
+        def listen(comm):
+            return comm.recv(1, ("never_sent", 9))
+        """,
+        rel="repro/parallel/proto.py",
+        rules=["REP008"],
+    )
+    (finding,) = _rep008(report)
+    assert "blocks forever" in finding.message
+
+
+def test_seeded_deadlock_rank_conditional_recv(analyze):
+    # The seeded deadlock fixture: only rank 0 ever receives, and the
+    # function sends nothing that could satisfy a peer's mirrored recv.
+    report = analyze(
+        """\
+        def deadlock(comm):
+            rank = comm.rank
+            if rank == 0:
+                return comm.recv(1, ("result", 0))
+            return None
+
+        def producer(comm, payload):
+            comm.send(0, ("result", 0), payload)
+        """,
+        rel="repro/parallel/proto.py",
+        rules=["REP008"],
+    )
+    (finding,) = _rep008(report)
+    assert "deadlock shape" in finding.message
+    assert finding.line == 4
+
+
+def test_collective_in_one_branch_is_flagged(analyze):
+    report = analyze(
+        """\
+        def half_gather(comm, payload):
+            if comm.rank % 2 == 0:
+                return comm.allgather(payload, ("half", 1))
+            return None
+        """,
+        rel="repro/parallel/proto.py",
+        rules=["REP008"],
+    )
+    (finding,) = _rep008(report)
+    assert "diverge" in finding.message
+    assert "allgather" in finding.message
+
+
+def test_collective_order_divergence_across_branches(analyze):
+    report = analyze(
+        """\
+        def shuffled(comm, payload):
+            if comm.rank == 0:
+                comm.allgather(payload, ("a", 1))
+                comm.barrier()
+            else:
+                comm.barrier()
+                comm.allgather(payload, ("a", 1))
+        """,
+        rel="repro/parallel/proto.py",
+        rules=["REP008"],
+    )
+    (finding,) = _rep008(report)
+    assert "diverge" in finding.message
+
+
+# ----------------------------------------------------------------- passing
+def test_mirrored_pair_idiom_passes(analyze):
+    # The repo's chain-neighbour shape: both directions conditional on
+    # rank-derived locals, but send and recv tags unify in-function.
+    report = analyze(
+        """\
+        def exchange(comm, payload):
+            rank, size = comm.rank, comm.size
+            left = rank - 1 if rank > 0 else None
+            right = rank + 1 if rank < size - 1 else None
+            if left is not None:
+                comm.send(left, ("load", 0, "L"), payload)
+            if right is not None:
+                comm.send(right, ("load", 0, "R"), payload)
+            got_l = comm.recv(left, ("load", 0, "R")) if left is not None else None
+            got_r = comm.recv(right, ("load", 0, "L")) if right is not None else None
+            return got_l, got_r
+        """,
+        rel="repro/parallel/proto.py",
+        rules=["REP008"],
+    )
+    assert _rep008(report) == []
+
+
+def test_rank_uniform_collective_passes(analyze):
+    report = analyze(
+        """\
+        def checkpoint(comm, payload):
+            verdicts = comm.allgather(payload, ("health", 3))
+            if comm.rank == 0:
+                return verdicts
+            return None
+        """,
+        rel="repro/parallel/proto.py",
+        rules=["REP008"],
+    )
+    assert _rep008(report) == []
+
+
+def test_generic_forwarder_with_param_tag_is_exempt(analyze):
+    report = analyze(
+        """\
+        def sendrecv(self, dest, send_payload, source, tag):
+            self.send(dest, tag, send_payload)
+            return self.recv(source, tag)
+        """,
+        rel="repro/parallel/proto.py",
+        rules=["REP008"],
+    )
+    assert _rep008(report) == []
+
+
+def test_out_of_scope_modules_are_not_checked(analyze):
+    report = analyze(
+        """\
+        def listen(comm):
+            return comm.recv(1, ("never_sent", 9))
+        """,
+        rel="repro/serve/other.py",
+        rules=["REP008"],
+    )
+    assert _rep008(report) == []
+
+
+def test_repo_parallel_layer_is_rep008_clean():
+    from repro.analysis import run_analysis
+
+    from .conftest import SRC_ROOT
+
+    report = run_analysis(SRC_ROOT, rules=["REP008"])
+    assert [f for f in report.unsuppressed if f.rule == "REP008"] == []

@@ -1,0 +1,178 @@
+"""REP009: asyncio discipline in the serve layer."""
+
+from __future__ import annotations
+
+
+def _rep009(report):
+    return [f for f in report.unsuppressed if f.rule == "REP009"]
+
+
+# ----------------------------------------------------------------- failing
+def test_direct_blocking_call_in_async_def(analyze):
+    # The blocking-call-in-async fixture: time.sleep on the event loop.
+    report = analyze(
+        """\
+        import time
+
+        async def handler(job):
+            time.sleep(0.5)
+            return job
+        """,
+        rel="repro/serve/svc.py",
+        rules=["REP009"],
+    )
+    (finding,) = _rep009(report)
+    assert "time.sleep()" in finding.message
+    assert "to_thread" in finding.message
+
+
+def test_transitive_blocking_call_is_traced_through_helpers(analyze):
+    report = analyze(
+        """\
+        import time
+
+        def helper():
+            time.sleep(1.0)
+
+        def middle():
+            helper()
+
+        async def handler(job):
+            middle()
+            return job
+        """,
+        rel="repro/serve/svc.py",
+        rules=["REP009"],
+    )
+    (finding,) = _rep009(report)
+    assert "handler -> middle -> helper" in finding.message
+    assert finding.line == 10, "anchored at the call site in the async def"
+
+
+def test_file_io_and_subprocess_are_blocking(analyze):
+    report = analyze(
+        """\
+        import subprocess
+
+        async def reads(path):
+            return open(path).read()
+
+        async def shells(cmd):
+            return subprocess.run(cmd)
+        """,
+        rel="repro/serve/svc.py",
+        rules=["REP009"],
+    )
+    messages = "\n".join(f.message for f in _rep009(report))
+    assert "open()" in messages
+    assert "subprocess.run()" in messages
+
+
+def test_unawaited_coroutine_is_flagged(analyze):
+    report = analyze(
+        """\
+        async def notify(job):
+            return job
+
+        def fire_and_forget(job):
+            notify(job)
+        """,
+        rel="repro/serve/svc.py",
+        rules=["REP009"],
+    )
+    (finding,) = _rep009(report)
+    assert "never awaited" in finding.message
+
+
+def test_sync_lock_across_await_is_flagged(analyze):
+    report = analyze(
+        """\
+        import threading
+
+        _lock = threading.Lock()
+
+        async def guarded(sched, job):
+            with _lock:
+                return await sched.submit(job)
+        """,
+        rel="repro/serve/svc.py",
+        rules=["REP009"],
+    )
+    (finding,) = _rep009(report)
+    assert "held across an await" in finding.message
+    assert "asyncio.Lock" in finding.message
+
+
+# ----------------------------------------------------------------- passing
+def test_to_thread_hop_sanctions_the_blocking_helper(analyze):
+    report = analyze(
+        """\
+        import asyncio
+        import time
+
+        def blocking_work():
+            time.sleep(1.0)
+
+        async def handler(job):
+            return await asyncio.to_thread(blocking_work)
+        """,
+        rel="repro/serve/svc.py",
+        rules=["REP009"],
+    )
+    assert _rep009(report) == []
+
+
+def test_awaited_and_scheduled_coroutines_pass(analyze):
+    report = analyze(
+        """\
+        import asyncio
+
+        async def notify(job):
+            return job
+
+        async def fanout(jobs):
+            await notify(jobs[0])
+            await asyncio.gather(notify(jobs[1]), notify(jobs[2]))
+        """,
+        rel="repro/serve/svc.py",
+        rules=["REP009"],
+    )
+    assert _rep009(report) == []
+
+
+def test_sync_functions_may_block(analyze):
+    report = analyze(
+        """\
+        import time
+
+        def sequential_baseline(specs):
+            time.sleep(0.01)
+            return specs
+        """,
+        rel="repro/serve/svc.py",
+        rules=["REP009"],
+    )
+    assert _rep009(report) == []
+
+
+def test_out_of_scope_modules_are_not_checked(analyze):
+    report = analyze(
+        """\
+        import time
+
+        async def handler(job):
+            time.sleep(0.5)
+        """,
+        rel="repro/obs/svc.py",
+        rules=["REP009"],
+    )
+    assert _rep009(report) == []
+
+
+def test_repo_serve_layer_is_rep009_clean():
+    from repro.analysis import run_analysis
+
+    from .conftest import SRC_ROOT
+
+    report = run_analysis(SRC_ROOT, rules=["REP009"])
+    assert [f for f in report.unsuppressed if f.rule == "REP009"] == []

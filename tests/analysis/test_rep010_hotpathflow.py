@@ -1,0 +1,179 @@
+"""REP010: transitive hot-path allocation through the call graph."""
+
+from __future__ import annotations
+
+
+def _rep010(report):
+    return [f for f in report.unsuppressed if f.rule == "REP010"]
+
+
+# ----------------------------------------------------------------- failing
+def test_allocation_in_cold_callee_is_flagged(analyze):
+    report = analyze(
+        """\
+        import numpy as np
+
+        from repro.util.hotpath import hot_path
+
+        def cold_helper(f):
+            return np.zeros_like(f)
+
+        @hot_path
+        def kernel(f):
+            return cold_helper(f)
+        """,
+        rel="repro/lbm/kern.py",
+        rules=["REP010"],
+    )
+    (finding,) = _rep010(report)
+    assert "np.zeros_like()" in finding.message
+    assert "kernel -> cold_helper" in finding.message
+    assert finding.line == 10, "anchored at the call site in the hot function"
+
+
+def test_allocation_two_hops_away_is_flagged(analyze):
+    report = analyze(
+        """\
+        import numpy as np
+
+        from repro.util.hotpath import hot_path
+
+        def deep(f):
+            return f.astype(np.float32)
+
+        def shallow(f):
+            return deep(f)
+
+        @hot_path
+        def kernel(f):
+            return shallow(f)
+        """,
+        rel="repro/lbm/kern.py",
+        rules=["REP010"],
+    )
+    (finding,) = _rep010(report)
+    assert ".astype()" in finding.message
+    assert "kernel -> shallow -> deep" in finding.message
+
+
+def test_cross_file_allocation_is_flagged(analyze, tmp_path):
+    import textwrap
+
+    helper = tmp_path / "repro" / "lbm" / "helpers.py"
+    helper.parent.mkdir(parents=True, exist_ok=True)
+    helper.write_text(
+        textwrap.dedent(
+            """\
+            import numpy as np
+
+            def rebuild(f):
+                return np.empty_like(f)
+            """
+        ),
+        encoding="utf-8",
+    )
+    report = analyze(
+        """\
+        from repro.lbm.helpers import rebuild
+
+        from repro.util.hotpath import hot_path
+
+        @hot_path
+        def kernel(f):
+            return rebuild(f)
+        """,
+        rel="repro/lbm/kern.py",
+        rules=["REP010"],
+    )
+    (finding,) = _rep010(report)
+    assert "np.empty_like()" in finding.message
+    assert "repro/lbm/helpers.py:4" in finding.message
+
+
+# ----------------------------------------------------------------- passing
+def test_direct_allocation_in_hot_body_is_rep001_not_rep010(analyze):
+    report = analyze(
+        """\
+        import numpy as np
+
+        from repro.util.hotpath import hot_path
+
+        @hot_path
+        def kernel(f):
+            return np.zeros_like(f)
+        """,
+        rel="repro/lbm/kern.py",
+        rules=["REP010"],
+    )
+    assert _rep010(report) == [], "hot bodies are REP001's jurisdiction"
+
+
+def test_hot_to_hot_edges_are_skipped(analyze):
+    report = analyze(
+        """\
+        import numpy as np
+
+        from repro.util.hotpath import hot_path
+
+        @hot_path
+        def inner(f, out):
+            np.add(f, f, out=out)
+            return out
+
+        @hot_path
+        def outer(f, out):
+            return inner(f, out)
+        """,
+        rel="repro/lbm/kern.py",
+        rules=["REP010"],
+    )
+    assert _rep010(report) == []
+
+
+def test_non_allocating_cold_helper_passes(analyze):
+    report = analyze(
+        """\
+        from repro.util.hotpath import hot_path
+
+        def lift(f, shape):
+            return f.reshape(shape)
+
+        @hot_path
+        def kernel(f, shape):
+            return lift(f, shape)
+        """,
+        rel="repro/lbm/kern.py",
+        rules=["REP010"],
+    )
+    assert _rep010(report) == []
+
+
+def test_suppression_at_the_hot_call_site_silences(analyze):
+    report = analyze(
+        """\
+        import numpy as np
+
+        from repro.util.hotpath import hot_path
+
+        def cold_fallback(f):
+            return np.empty_like(f)
+
+        @hot_path
+        def kernel(f):
+            return cold_fallback(f)  # repro: allow[REP010] -- deliberate cold fallback fixture
+        """,
+        rel="repro/lbm/kern.py",
+        rules=["REP010"],
+    )
+    assert _rep010(report) == []
+    (finding,) = report.suppressed
+    assert finding.rule == "REP010"
+
+
+def test_repo_hot_paths_are_rep010_clean():
+    from repro.analysis import run_analysis
+
+    from .conftest import SRC_ROOT
+
+    report = run_analysis(SRC_ROOT, rules=["REP010"])
+    assert [f for f in report.unsuppressed if f.rule == "REP010"] == []

@@ -1,0 +1,60 @@
+"""The ``--format sarif`` report shape is a stable contract.
+
+``golden_report.sarif`` pins SARIF 2.1.0 byte-for-byte over the same
+fixture tree as the JSON golden.  If this test fails because the shape
+*should* change, regenerate the golden in the same commit.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import SARIF_VERSION, render_sarif, run_analysis
+
+from .conftest import SRC_ROOT
+
+HERE = Path(__file__).resolve().parent
+FIXTURES = HERE / "fixtures" / "demo"
+GOLDEN = HERE / "golden_report.sarif"
+
+
+def test_sarif_report_matches_golden():
+    doc = json.loads(render_sarif(run_analysis(FIXTURES)))
+    assert doc == json.loads(GOLDEN.read_text())
+
+
+def test_sarif_version_and_schema_are_pinned():
+    doc = json.loads(GOLDEN.read_text())
+    assert doc["version"] == SARIF_VERSION == "2.1.0"
+    assert doc["$schema"].endswith("sarif-2.1.0.json")
+
+
+def test_sarif_results_carry_locations_and_suppressions():
+    doc = json.loads(render_sarif(run_analysis(FIXTURES)))
+    (run,) = doc["runs"]
+    rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"REP000", "REP001", "REP008", "REP009", "REP010"} <= rules
+    suppressed = [r for r in run["results"] if r.get("suppressions")]
+    live = [r for r in run["results"] if not r.get("suppressions")]
+    assert suppressed and live
+    for result in run["results"]:
+        (loc,) = result["locations"]
+        region = loc["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+    (supp,) = suppressed[0]["suppressions"]
+    assert supp["kind"] == "inSource"
+    assert supp["justification"]
+
+
+def test_cli_format_sarif_emits_the_same_document():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(FIXTURES), "--format", "sarif"],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC_ROOT), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 1, "findings still gate the exit status"
+    assert json.loads(proc.stdout) == json.loads(GOLDEN.read_text())
