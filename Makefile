@@ -1,5 +1,6 @@
 .PHONY: install test lint bench bench-kernels bench-transport bench-serve \
-    experiments experiments-fast trace-demo ckpt-demo serve-demo clean
+    bench-sweep experiments experiments-fast trace-demo ckpt-demo \
+    serve-demo clean
 
 install:
 	pip install -e '.[test]'
@@ -28,6 +29,11 @@ bench-transport:
 # writes BENCH_serve.json (also available as the fig-serve experiment).
 bench-serve:
 	python -m repro.experiments.runner fig-serve
+
+# One MC sweep per wall-physics scenario served with dedup; every sample
+# verified bit-identical to a standalone run; writes BENCH_sweep.json.
+bench-sweep:
+	python -m repro.sweep --json BENCH_sweep.json
 
 experiments:
 	python -m repro.experiments.runner all

@@ -1,0 +1,97 @@
+"""Monte Carlo scenario sweeps served with content-addressed dedup.
+
+One MC sweep per wall-physics scenario (homogeneous, rough, patterned)
+is served through the :mod:`repro.serve` scheduler with ``repeats > 1``
+— the duplicate-heavy shape a real sensitivity study produces — and the
+per-scenario service numbers (samples/s, dedup ratio, cache hit-rate,
+µs per executed lattice-point update) land in ``BENCH_sweep.json`` at
+the repository root.  Every served sample is verified **bit-identical**
+against a direct standalone :func:`repro.api.run`, and the dedup floor
+(hit-rate > 0 on repeated samples) is asserted here in timed mode and
+gated again in CI from the JSON.
+
+Under ``--benchmark-disable`` each case still runs once (a smoke test
+of sampling, serving, dedup and verification) but no floor is asserted.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sweep.bench import (
+    DEFAULT_PHASES,
+    DEFAULT_REPEATS,
+    DEFAULT_SAMPLES,
+    DEFAULT_SHAPE,
+    scenario_sweeps,
+    verify_bit_identical,
+)
+from repro.sweep.engine import run_sweep
+
+WORKERS = 2
+SEED = 1234
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+SWEEPS = scenario_sweeps(seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def bench_record():
+    """Collect per-scenario rows and write BENCH_sweep.json when the
+    module finishes."""
+    results: dict[str, dict] = {}
+    yield results
+    if not results:
+        return
+    payload = {
+        "sweep": {
+            "shape": list(DEFAULT_SHAPE),
+            "phases": DEFAULT_PHASES,
+            "repeats": DEFAULT_REPEATS,
+            "workers": WORKERS,
+            "unit": "samples_per_second",
+            "scenarios": results,
+        }
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.parametrize("scenario", sorted(SWEEPS))
+def test_bench_sweep(benchmark, bench_record, scenario):
+    spec = SWEEPS[scenario]
+    out = {}
+
+    def _serve():
+        out["result"] = run_sweep(
+            spec, via="serve", workers=WORKERS, keep_results=True
+        )
+
+    benchmark.pedantic(_serve, rounds=1, iterations=1)
+    result = out["result"]
+    verify_bit_identical(result)
+
+    benchmark.extra_info["samples_per_second"] = round(
+        result.samples_per_second, 2
+    )
+    benchmark.extra_info["dedup_ratio"] = round(result.dedup_ratio, 3)
+    benchmark.extra_info["cache_hit_rate"] = round(result.cache_hit_rate, 3)
+    bench_record[scenario] = {
+        "samples": spec.n_samples,
+        "submissions": result.submissions,
+        "executions": result.executions,
+        "dedup_ratio": round(result.dedup_ratio, 3),
+        "cache_hit_rate": round(result.cache_hit_rate, 3),
+        "samples_per_second": round(result.samples_per_second, 2),
+        "us_per_point": round(result.us_per_point, 3),
+        "mean_slip": round(float(result.slip_array().mean()), 6),
+        "verified_bit_identical": True,
+    }
+
+    if benchmark.stats is None:
+        return  # --benchmark-disable smoke run: no dedup floor
+    # repeats > 1 re-submits every distinct sample, so the serve layer
+    # must convert the later rounds into cache hits.
+    assert result.cache_hit_rate > 0.0
+    assert result.dedup_ratio > 0.0
+    assert result.executions < result.submissions

@@ -145,9 +145,12 @@ def canonical_spec_doc(spec: RunSpec) -> dict[str, Any]:
 
     Only fields that determine the run's *output* participate: the
     physics fingerprint (:func:`repro.ckpt.manifest.config_fingerprint`,
-    which already canonicalizes geometry, components, coupling, forcing
-    and collision while excluding the kernel backend — an implementation
-    choice, not a model) and the phase target.  Execution knobs — rank
+    which already canonicalizes geometry, components, coupling, forcing,
+    collision and the wall scenario — its registry name plus *every*
+    parameter, including a rough scenario's RNG seed, so the serve cache
+    can never conflate two scenarios that share the remaining knobs —
+    while excluding the kernel backend, an implementation choice, not a
+    model) and the phase target.  Execution knobs — rank
     count, transport, remapping policy, checkpoint/trace/observer
     machinery — are deliberately absent: the transports and backends are
     bit-identical by contract, so two specs differing only there produce
@@ -233,6 +236,7 @@ def run(spec: RunSpec) -> RunResult:
             if getattr(spec, name) is not None:
                 raise ValueError(f"{name} requires ranks > 1")
         return _run_sequential(spec, config, store)
+    _check_parallel_scenario(config)
     results = _run_parallel(spec, config, store)
     return RunResult(
         spec=spec,
@@ -249,7 +253,20 @@ def execute_parallel(spec: RunSpec) -> list[ParallelRunResult]:
     solver) and return the raw per-rank results."""
     spec = config_mod.from_env().overlay(spec)
     config = spec.resolved_config()
+    _check_parallel_scenario(config)
     return _run_parallel(spec, config, _store_for(spec, config))
+
+
+def _check_parallel_scenario(config: LBMConfig) -> None:
+    """Fail fast (before any rank launches) when a spec asks the
+    slab-decomposed driver to run a scenario that varies along the flow
+    axis; the driver itself re-checks as a backstop."""
+    if config.scenario is not None and not config.scenario.x_invariant:
+        raise ValueError(
+            f"scenario {config.scenario.name!r} varies along the flow axis "
+            f"and cannot run on the slab-decomposed parallel driver; use "
+            f"ranks=1 or the batched ensemble path"
+        )
 
 
 @dataclass
@@ -359,8 +376,9 @@ def batch_compatible(base: RunSpec, other: RunSpec) -> bool:
 
 def _member_delta(base: LBMConfig, config: LBMConfig):
     """The :class:`~repro.lbm.ensemble.MemberParams` turning *base* into
-    *config*, or ``None`` when they differ beyond the swept scalar knobs
-    (coupling matrix, wall-force amplitude, body acceleration)."""
+    *config*, or ``None`` when they differ beyond the swept knobs
+    (coupling matrix, wall-force amplitude, body acceleration, wall
+    scenario with an unchanged solid mask)."""
     from repro.lbm.ensemble import MemberParams
 
     if (
@@ -372,6 +390,16 @@ def _member_delta(base: LBMConfig, config: LBMConfig):
         or base.adhesion != config.adhesion
     ):
         return None
+    scenario = None
+    if (base.scenario is None) != (config.scenario is None):
+        return None
+    if base.scenario is not None and base.scenario != config.scenario:
+        if (
+            base.scenario.geometry_signature()
+            != config.scenario.geometry_signature()
+        ):
+            return None  # different solid masks cannot share a batch
+        scenario = config.scenario
     wall_amplitude = None
     if (base.wall_force is None) != (config.wall_force is None):
         return None
@@ -397,6 +425,7 @@ def _member_delta(base: LBMConfig, config: LBMConfig):
         g_matrix=g_matrix,
         wall_amplitude=wall_amplitude,
         body_acceleration=body,
+        scenario=scenario,
     )
 
 

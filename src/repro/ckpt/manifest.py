@@ -205,6 +205,9 @@ def config_fingerprint(config: "LBMConfig") -> dict[str, Any]:
             if config.adhesion is None
             else [float(a) for a in config.adhesion]
         ),
+        "scenario": (
+            None if config.scenario is None else config.scenario.doc()
+        ),
         "psi": getattr(config.psi, "__qualname__", repr(config.psi)),
     }
 

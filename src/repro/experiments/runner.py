@@ -27,6 +27,7 @@ from repro.experiments import (
     ext_adaptation,
     ext_decomposition,
     ext_resolution,
+    ext_scenarios,
     ext_slip_sweep,
     ext_heterogeneous,
     fig3_disturbance,
@@ -57,6 +58,8 @@ EXPERIMENTS: dict[str, Callable[..., Report]] = {
     "ext-resolution": ext_resolution.run,
     "ext-decomposition": ext_decomposition.run,
     "ext-heterogeneous": ext_heterogeneous.run,
+    "fig-roughness": ext_scenarios.run_roughness,
+    "fig-pattern": ext_scenarios.run_pattern,
 }
 
 ORDER = (
@@ -75,6 +78,8 @@ ORDER = (
     "ext-adaptation",
     "ext-slip-sweep",
     "ext-resolution",
+    "fig-roughness",
+    "fig-pattern",
 )
 
 

@@ -37,9 +37,12 @@ from repro.lbm.diagnostics import (
     apparent_slip_fraction,
     apparent_slip_gain,
     density_profile,
+    effective_apparent_slip_fraction,
+    effective_slip_fraction,
     first_node_velocity_fraction,
     normalized_velocity_profile,
     slip_fraction,
+    streamwise_slip_profile,
     velocity_profile,
 )
 
@@ -80,8 +83,11 @@ __all__ = [
     "apparent_slip_fraction",
     "apparent_slip_gain",
     "density_profile",
+    "effective_apparent_slip_fraction",
+    "effective_slip_fraction",
     "first_node_velocity_fraction",
     "normalized_velocity_profile",
     "slip_fraction",
+    "streamwise_slip_profile",
     "velocity_profile",
 ]

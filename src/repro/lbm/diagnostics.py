@@ -195,3 +195,91 @@ def mean_flow_velocity(solver: MulticomponentLBM, flow_axis: int = 0) -> float:
     """Mean streamwise velocity over fluid nodes."""
     u = solver.velocity()[flow_axis]
     return float(u[solver.fluid].mean())
+
+
+# --------------------------------------------------- inhomogeneous walls
+#
+# The single-cross-section measures above assume the paper's flat,
+# x-invariant walls, where every streamwise plane sees the same profile.
+# Rough and patterned scenarios (repro.scenarios) break that: the local
+# slip varies along the flow axis, so one midpoint sample is an
+# arbitrary stripe, not the channel's effective slip.  The helpers below
+# reduce over *all* streamwise planes instead.
+
+
+def streamwise_slip_profile(
+    solver: MulticomponentLBM,
+    *,
+    axis: int = 1,
+    flow_axis: int = 0,
+    other_index: int | None = None,
+    measure=slip_fraction,
+) -> Profile:
+    """*measure* evaluated on the velocity profile of **every**
+    streamwise plane: positions are the x indices, values the per-plane
+    slip.  The per-stripe view behind :func:`effective_slip_fraction`
+    (and the fig-pattern stripe plots)."""
+    u = solver.velocity()[flow_axis]
+    nx = solver.config.geometry.shape[0]
+    values = [
+        measure(_extract_line(solver, u, axis, i, other_index))
+        for i in range(nx)
+    ]
+    return Profile(
+        positions=np.arange(nx, dtype=np.float64),
+        values=np.asarray(values, dtype=np.float64),
+    )
+
+
+def effective_slip_fraction(
+    solver: MulticomponentLBM,
+    *,
+    axis: int = 1,
+    flow_axis: int = 0,
+    other_index: int | None = None,
+    measure=slip_fraction,
+) -> float:
+    """Effective (channel-averaged) slip for possibly inhomogeneous
+    walls: *measure* (default :func:`slip_fraction`) averaged over all
+    streamwise planes.
+
+    For x-invariant physics every plane carries the bitwise-identical
+    profile, and the function returns that single plane's value exactly
+    — no floating-point averaging error — so the homogeneous scenario
+    reproduces the historical midpoint measurement bit-for-bit.
+    """
+    prof = streamwise_slip_profile(
+        solver,
+        axis=axis,
+        flow_axis=flow_axis,
+        other_index=other_index,
+        measure=measure,
+    )
+    values = prof.values
+    if np.all(values == values[0]):
+        return float(values[0])
+    return float(values.mean())
+
+
+def effective_apparent_slip_fraction(
+    solver: MulticomponentLBM,
+    *,
+    axis: int = 1,
+    flow_axis: int = 0,
+    other_index: int | None = None,
+    boundary_layer: float = 8.0,
+) -> float:
+    """:func:`apparent_slip_fraction` (parabolic core fit) averaged over
+    all streamwise planes — the experimentalist's measure for rough or
+    patterned walls."""
+
+    def measure(profile: Profile) -> float:
+        return apparent_slip_fraction(profile, boundary_layer=boundary_layer)
+
+    return effective_slip_fraction(
+        solver,
+        axis=axis,
+        flow_axis=flow_axis,
+        other_index=other_index,
+        measure=measure,
+    )

@@ -41,7 +41,7 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -51,6 +51,9 @@ from repro.lbm.forces import body_force_field, wall_force_field
 from repro.lbm.macroscopic import mixture_velocity
 from repro.lbm.solver import LBMConfig, MulticomponentLBM
 from repro.obs.observer import NULL_OBSERVER, ObserverLike, resolve_observer
+
+if TYPE_CHECKING:  # repro.scenarios imports repro.lbm; never the reverse
+    from repro.scenarios.base import Scenario
 
 
 @dataclass(frozen=True)
@@ -70,12 +73,17 @@ class MemberParams:
         base config to carry a ``wall_force`` spec).
     body_acceleration:
         Replacement driving body acceleration.
+    scenario:
+        Replacement wall-physics scenario (requires the base config to
+        carry a scenario whose geometry signature matches — the batch
+        shares one stacked solid mask; see :mod:`repro.scenarios`).
     """
 
     g_scale: float = 1.0
     g_matrix: np.ndarray | None = None
     wall_amplitude: float | None = None
     body_acceleration: tuple[float, ...] | None = None
+    scenario: "Scenario | None" = None
 
 
 @dataclass(frozen=True)
@@ -105,6 +113,21 @@ class EnsembleSpec:
                     f"member {i} sets wall_amplitude but the base config "
                     f"has no wall_force spec"
                 )
+            if params.scenario is not None:
+                if self.base.scenario is None:
+                    raise ValueError(
+                        f"member {i} sets a scenario but the base config "
+                        f"has none"
+                    )
+                if (
+                    params.scenario.geometry_signature()
+                    != self.base.scenario.geometry_signature()
+                ):
+                    raise ValueError(
+                        f"member {i}'s scenario reshapes the solid walls "
+                        f"differently from the base scenario; a batch "
+                        f"shares one stacked solid mask"
+                    )
         object.__setattr__(self, "members", members)
 
     @property
@@ -130,6 +153,8 @@ class EnsembleSpec:
             )
         if params.body_acceleration is not None:
             updates["body_acceleration"] = tuple(params.body_acceleration)
+        if params.scenario is not None:
+            updates["scenario"] = params.scenario
         if not updates:
             return self.base
         return dataclasses.replace(self.base, **updates)
@@ -221,7 +246,11 @@ class BatchedEnsemble:
         shape = geo.shape
         B, C, D, Q = spec.size, base.n_components, lat.D, lat.Q
 
-        self.solid = geo.solid_mask()
+        self.solid = (
+            base.scenario.solid_mask(geo)
+            if base.scenario is not None
+            else geo.solid_mask()
+        )
         self.fluid = ~self.solid
         self._fluid_f = self.fluid.astype(np.float64)
         self.shape = shape
@@ -237,6 +266,9 @@ class BatchedEnsemble:
             if cfg.wall_force is not None:
                 target = cfg.component_index(cfg.wall_force.component)
                 self._accel[b, target] += wall_force_field(geo, cfg.wall_force)
+            if cfg.scenario is not None:
+                target = cfg.component_index(cfg.scenario.component)
+                self._accel[b, target] += cfg.scenario.wall_accel(geo)
             if cfg.body_acceleration is not None:
                 body = body_force_field(geo, cfg.body_acceleration)
                 for c in range(C):

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -38,6 +39,9 @@ from repro.lbm.shan_chen import (
     validate_g_matrix,
 )
 from repro.obs.observer import NULL_OBSERVER, ObserverLike, resolve_observer
+
+if TYPE_CHECKING:  # repro.scenarios imports repro.lbm; never the reverse
+    from repro.scenarios.base import Scenario
 
 
 @dataclass(frozen=True)
@@ -74,6 +78,11 @@ class LBMConfig:
         (``g_ads > 0`` repels from the walls, ``< 0`` wets them) — the
         standard S-C wettability mechanism, as an alternative to the
         paper's explicit ``wall_force`` (see :mod:`repro.lbm.adhesion`).
+    scenario:
+        Optional pluggable wall physics (see :mod:`repro.scenarios`):
+        supplies the solid mask and the per-site wall acceleration for
+        its target component.  Mutually exclusive with ``wall_force`` —
+        the ``homogeneous`` scenario reproduces that path bit-for-bit.
     backend:
         Kernel-backend name (``"reference"``, ``"fused"``, ``"arrayapi"``
         or ``"batched"``; see :mod:`repro.lbm.backends`).  ``None``
@@ -92,6 +101,7 @@ class LBMConfig:
     psi: PsiFunction = field(default=psi_identity)
     collision: str = "bgk"
     adhesion: tuple[float, ...] | None = None
+    scenario: "Scenario | None" = None
     backend: str | None = None
 
     def __post_init__(self) -> None:
@@ -133,6 +143,17 @@ class LBMConfig:
                     f"({len(self.components)}), got {len(adh)}"
                 )
             object.__setattr__(self, "adhesion", adh)
+        if self.scenario is not None:
+            if self.wall_force is not None:
+                raise ValueError(
+                    "pass either wall_force or scenario, not both — the "
+                    "scenario owns the wall physics"
+                )
+            if self.scenario.component not in names:
+                raise ValueError(
+                    f"scenario targets unknown component "
+                    f"{self.scenario.component!r}; have {names}"
+                )
         object.__setattr__(self, "backend", resolve_backend_name(self.backend))
 
     @property
@@ -171,7 +192,10 @@ class MulticomponentLBM:
         shape = geo.shape
         n_comp = config.n_components
 
-        self.solid = geo.solid_mask()
+        scenario = config.scenario
+        self.solid = (
+            scenario.solid_mask(geo) if scenario is not None else geo.solid_mask()
+        )
         self.fluid = ~self.solid
         self._fluid_f = self.fluid.astype(np.float64)
 
@@ -183,6 +207,9 @@ class MulticomponentLBM:
         if config.wall_force is not None:
             target = config.component_index(config.wall_force.component)
             self._accel[target] += wall_force_field(geo, config.wall_force)
+        if scenario is not None:
+            target = config.component_index(scenario.component)
+            self._accel[target] += scenario.wall_accel(geo)
         if config.body_acceleration is not None:
             body = body_force_field(geo, config.body_acceleration)
             for c in range(n_comp):

@@ -254,7 +254,11 @@ def bench_metrics(doc: dict) -> dict[str, float]:
     The per-kernel section yields ``kernel.<backend>.<kernel>.
     us_per_point`` time-like metrics; the ``batched`` ensemble section
     yields ``ensemble.n<N>.*`` entries — µs/point (time-like) and
-    scenarios-per-second throughput (rate-like) per ensemble size.
+    scenarios-per-second throughput (rate-like) per ensemble size; the
+    ``sweep`` section (``BENCH_sweep.json``) yields per-scenario
+    ``sweep.<scenario>.*`` entries — samples/s, cache hit-rate and
+    dedup ratio (rate-like: a drop is the regression) plus µs/point
+    (time-like).
     """
     out: dict[str, float] = {}
     for kernel, values in doc.get("benchmarks", {}).items():
@@ -276,6 +280,11 @@ def bench_metrics(doc: dict) -> dict[str, float]:
             ):
                 continue
             out[f"serve.dup{frac}.{key}"] = float(value)
+    for scenario, values in doc.get("sweep", {}).get("scenarios", {}).items():
+        for key, value in values.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            out[f"sweep.{scenario}.{key}"] = float(value)
     return out
 
 
@@ -289,7 +298,9 @@ def load_metrics(path: str | Path) -> dict[str, float]:
         doc = json.loads(text)
     except json.JSONDecodeError:
         doc = None  # multi-line JSONL trace
-    if isinstance(doc, dict) and ("benchmarks" in doc or "serve" in doc):
+    if isinstance(doc, dict) and (
+        "benchmarks" in doc or "serve" in doc or "sweep" in doc
+    ):
         return bench_metrics(doc)
     return trace_metrics(read_trace(path))
 

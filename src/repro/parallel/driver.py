@@ -158,7 +158,18 @@ class ParallelLBM:
             wall_axes=geo.wall_axes,
             wall_thickness=geo.wall_thickness,
         )
-        self._solid_pattern = thin_geo.solid_mask()  # (1, *cross)
+        if config.scenario is not None and not config.scenario.x_invariant:
+            raise ValueError(
+                f"scenario {config.scenario.name!r} varies along the flow "
+                f"axis; the slab-decomposed parallel driver shares one "
+                f"cross-section wall pattern, so only x-invariant scenarios "
+                f"can run on it (use ranks=1 or the batched ensemble path)"
+            )
+        self._solid_pattern = (
+            config.scenario.solid_mask(thin_geo)
+            if config.scenario is not None
+            else thin_geo.solid_mask()
+        )  # (1, *cross)
         self._fluid_pattern = ~self._solid_pattern
         n_comp = config.n_components
         self._accel = np.zeros(
@@ -167,6 +178,9 @@ class ParallelLBM:
         if config.wall_force is not None:
             target = config.component_index(config.wall_force.component)
             self._accel[target] += wall_force_field(thin_geo, config.wall_force)
+        if config.scenario is not None:
+            target = config.component_index(config.scenario.component)
+            self._accel[target] += config.scenario.wall_accel(thin_geo)
         if config.body_acceleration is not None:
             body = body_force_field(thin_geo, config.body_acceleration)
             for ci in range(n_comp):

@@ -1,0 +1,35 @@
+"""Pluggable wall-physics scenarios (see docs/SCENARIOS.md).
+
+Importing this package registers the built-in scenarios:
+
+- ``homogeneous`` — the paper's uniform hydrophobic wall force,
+  bit-identical to the direct ``LBMConfig.wall_force`` path;
+- ``rough`` — seeded random wall-height displacement
+  (Kunert–Harting 2007);
+- ``patterned`` — streamwise stripes of alternating slip
+  (Ahmed–Hecht 2009).
+
+Attach one to :class:`repro.lbm.LBMConfig` via its ``scenario`` field.
+"""
+
+from repro.scenarios.base import (
+    Scenario,
+    available_scenarios,
+    get_scenario_class,
+    register_scenario,
+    scenario_from_doc,
+)
+from repro.scenarios.homogeneous import HomogeneousScenario
+from repro.scenarios.patterned import PatternedScenario
+from repro.scenarios.rough import RoughScenario
+
+__all__ = [
+    "HomogeneousScenario",
+    "PatternedScenario",
+    "RoughScenario",
+    "Scenario",
+    "available_scenarios",
+    "get_scenario_class",
+    "register_scenario",
+    "scenario_from_doc",
+]

@@ -1,0 +1,85 @@
+"""``python -m repro.sweep`` — run the per-scenario MC sweep benchmark
+and print (or publish) the service-level numbers.
+
+    python -m repro.sweep                        # print the table
+    python -m repro.sweep --json BENCH_sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sweep.bench import benchmark_sweep, write_bench
+from repro.util.tables import format_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Monte Carlo scenario sweeps served with dedup.",
+    )
+    parser.add_argument("--samples", type=int, default=6)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--phases", type=int, default=6)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the bitwise standalone cross-check (faster)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the BENCH_sweep.json payload",
+    )
+    args = parser.parse_args(argv)
+
+    payload = benchmark_sweep(
+        n_samples=args.samples,
+        repeats=args.repeats,
+        phases=args.phases,
+        workers=args.workers,
+        seed=args.seed,
+        verify=not args.no_verify,
+    )
+    rows = [
+        (
+            name,
+            row["samples"],
+            row["submissions"],
+            row["executions"],
+            f"{row['dedup_ratio']:.3f}",
+            f"{row['cache_hit_rate']:.3f}",
+            f"{row['samples_per_second']:.2f}",
+            f"{row['us_per_point']:.3f}",
+            "yes" if row["verified_bit_identical"] else "no",
+        )
+        for name, row in payload["sweep"]["scenarios"].items()
+    ]
+    print(
+        format_table(
+            (
+                "scenario",
+                "samples",
+                "subs",
+                "execs",
+                "dedup",
+                "hit-rate",
+                "samples/s",
+                "us/point",
+                "verified",
+            ),
+            rows,
+        )
+    )
+    if args.json is not None:
+        write_bench(payload, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

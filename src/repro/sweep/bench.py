@@ -1,0 +1,207 @@
+"""The Monte Carlo sweep benchmark and its ``BENCH_sweep.json`` payload.
+
+One MC sweep per scenario (homogeneous, rough, patterned) is served
+through the :mod:`repro.serve` scheduler with ``repeats > 1`` — the
+duplicate-heavy shape a real sensitivity study produces — and the
+payload records, per scenario: samples, submissions, executions after
+dedup, dedup ratio, cache hit-rate, throughput (samples/s) and cost per
+executed lattice-point update (µs/point).  Every served result is
+verified **bit-identical** against a direct standalone
+:func:`repro.api.run` of the same spec, so the dedup numbers are earned
+on exact physics, not approximate reuse.
+
+The payload is shared by ``make bench-sweep`` (``python -m
+repro.sweep``), the benchmark suite, and the CI ``scenarios`` job's
+dedup-floor gate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.api import run
+from repro.ckpt.io import atomic_write_json
+from repro.lbm.components import ComponentSpec
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import D2Q9
+from repro.lbm.solver import LBMConfig
+from repro.scenarios import (
+    HomogeneousScenario,
+    PatternedScenario,
+    RoughScenario,
+    Scenario,
+)
+from repro.sweep.distributions import Discrete, Uniform
+from repro.sweep.engine import SweepResult, run_sweep
+from repro.sweep.spec import SweepParameter, SweepSpec
+
+#: Default benchmark budget: the serve-bench channel, few phases, so the
+#: sweep machinery (sampling, dedup, coalescing) dominates solver time.
+DEFAULT_SHAPE = (12, 18)
+DEFAULT_PHASES = 6
+DEFAULT_SAMPLES = 6
+DEFAULT_REPEATS = 3
+
+
+def base_config(
+    scenario: Scenario, shape: tuple[int, int] = DEFAULT_SHAPE
+) -> LBMConfig:
+    """The water/air microchannel all benchmark sweeps vary from."""
+    return LBMConfig(
+        geometry=ChannelGeometry(shape=shape, wall_axes=(1,)),
+        components=(
+            ComponentSpec("water", tau=1.0, rho_init=1.0),
+            ComponentSpec("air", tau=1.0, rho_init=0.03),
+        ),
+        g_matrix=np.array([[0.0, 0.9], [0.9, 0.0]]),
+        lattice=D2Q9,
+        scenario=scenario,
+        body_acceleration=(1e-6, 0.0),
+    )
+
+
+def scenario_sweeps(
+    *,
+    shape: tuple[int, int] = DEFAULT_SHAPE,
+    phases: int = DEFAULT_PHASES,
+    n_samples: int = DEFAULT_SAMPLES,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = 1234,
+) -> dict[str, SweepSpec]:
+    """One representative MC sweep per built-in scenario.
+
+    Discrete priors are used where a realistic study would use them
+    (pattern duty cycles, roughness levels) — they also manufacture
+    exact duplicate samples at small budgets, exercising the dedup path
+    twice over (repeats *and* prior collisions).
+    """
+    return {
+        "homogeneous": SweepSpec(
+            base_config=base_config(
+                HomogeneousScenario(amplitude=0.05, decay_length=2.0),
+                shape,
+            ),
+            phases=phases,
+            parameters=(
+                SweepParameter("amplitude", Uniform(0.02, 0.1)),
+            ),
+            n_samples=n_samples,
+            seed=seed,
+            sampler="lhs",
+            repeats=repeats,
+        ),
+        "rough": SweepSpec(
+            base_config=base_config(
+                RoughScenario(
+                    amplitude=0.05,
+                    decay_length=2.0,
+                    rms=0.8,
+                    max_height=2,
+                    seed=7,
+                ),
+                shape,
+            ),
+            phases=phases,
+            parameters=(
+                SweepParameter("amplitude", Uniform(0.02, 0.1)),
+            ),
+            n_samples=n_samples,
+            seed=seed,
+            sampler="lhs",
+            repeats=repeats,
+        ),
+        "patterned": SweepSpec(
+            base_config=base_config(
+                PatternedScenario(
+                    amplitude_hi=0.05, duty=0.5, decay_length=2.0
+                ),
+                shape,
+            ),
+            phases=phases,
+            parameters=(
+                SweepParameter("duty", Discrete((0.25, 0.5, 0.75))),
+                SweepParameter("amplitude_hi", Discrete((0.04, 0.08))),
+            ),
+            n_samples=n_samples,
+            seed=seed,
+            sampler="mc",
+            repeats=repeats,
+        ),
+    }
+
+
+def verify_bit_identical(result: SweepResult) -> bool:
+    """Check every *distinct* served sample against a direct standalone
+    :func:`repro.api.run` of the same spec; raises ``AssertionError`` on
+    the first divergence.  Needs ``run_sweep(..., keep_results=True)``."""
+    if result.results is None:
+        raise ValueError("run the sweep with keep_results=True to verify")
+    repeats = result.spec.repeats
+    specs = result.spec.run_specs()
+    for sample in result.samples:
+        served = result.results[sample.index * repeats]
+        direct = run(specs[sample.index * repeats])
+        if not np.array_equal(served.f, direct.f):
+            raise AssertionError(
+                f"served sample {sample.index} ({sample.params}) diverged "
+                f"from a standalone run"
+            )
+    return True
+
+
+def benchmark_sweep(
+    *,
+    shape: tuple[int, int] = DEFAULT_SHAPE,
+    phases: int = DEFAULT_PHASES,
+    n_samples: int = DEFAULT_SAMPLES,
+    repeats: int = DEFAULT_REPEATS,
+    workers: int = 2,
+    seed: int = 1234,
+    verify: bool = True,
+) -> dict[str, Any]:
+    """Serve one MC sweep per scenario and build the ``BENCH_sweep.json``
+    payload."""
+    scenarios: dict[str, Any] = {}
+    for name, spec in scenario_sweeps(
+        shape=shape,
+        phases=phases,
+        n_samples=n_samples,
+        repeats=repeats,
+        seed=seed,
+    ).items():
+        result = run_sweep(
+            spec, via="serve", workers=workers, keep_results=verify
+        )
+        if verify:
+            verify_bit_identical(result)
+        scenarios[name] = {
+            "samples": spec.n_samples,
+            "submissions": result.submissions,
+            "executions": result.executions,
+            "dedup_ratio": round(result.dedup_ratio, 3),
+            "cache_hit_rate": round(result.cache_hit_rate, 3),
+            "samples_per_second": round(result.samples_per_second, 2),
+            "us_per_point": round(result.us_per_point, 3),
+            "mean_slip": round(
+                float(result.slip_array().mean()), 6
+            ),
+            "verified_bit_identical": bool(verify),
+        }
+    return {
+        "sweep": {
+            "shape": list(shape),
+            "phases": phases,
+            "repeats": repeats,
+            "workers": workers,
+            "unit": "samples_per_second",
+            "scenarios": scenarios,
+        }
+    }
+
+
+def write_bench(payload: dict[str, Any], path: str | Path) -> None:
+    """Atomically publish the benchmark payload."""
+    atomic_write_json(path, payload)

@@ -1,0 +1,54 @@
+"""Fast-mode figure tests for the scenario experiments: the curves must
+be monotone in the advertised direction, and the experiments must be
+registered with the runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ext_scenarios
+from repro.experiments.runner import EXPERIMENTS, ORDER
+
+
+class TestRoughnessFigure:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return ext_scenarios.run_roughness(fast=True)
+
+    def test_slip_length_falls_monotonically_with_rms(self, report):
+        lengths = report.data["slip_length"]
+        assert report.data["rms"] == sorted(report.data["rms"])
+        assert np.all(np.diff(lengths) < 0)
+        assert report.data["trend"] == "-"
+
+    def test_smooth_control_anchors_zero(self, report):
+        assert report.data["rms"][0] == 0.0
+        assert report.data["slip_length"][0] == 0.0
+
+    def test_base_plane_slip_goes_negative(self, report):
+        # the Kunert-Harting measurement-plane effect
+        apparent = report.data["apparent_slip"]
+        assert apparent[0] > 0 or apparent[0] == pytest.approx(0.0, abs=1e-2)
+        assert apparent[-1] < 0
+
+
+class TestPatternFigure:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return ext_scenarios.run_pattern(fast=True)
+
+    def test_slip_length_rises_monotonically_with_duty(self, report):
+        lengths = report.data["slip_length"]
+        assert report.data["duty"] == sorted(report.data["duty"])
+        assert np.all(np.diff(lengths) > 0)
+        assert report.data["trend"] == "+"
+
+    def test_no_stripes_means_no_gain(self, report):
+        assert report.data["duty"][0] == 0.0
+        assert report.data["slip_length"][0] == 0.0
+
+
+def test_experiments_are_registered_in_order():
+    assert EXPERIMENTS["fig-roughness"] is ext_scenarios.run_roughness
+    assert EXPERIMENTS["fig-pattern"] is ext_scenarios.run_pattern
+    assert "fig-roughness" in ORDER and "fig-pattern" in ORDER
+    assert set(ORDER) == set(EXPERIMENTS)

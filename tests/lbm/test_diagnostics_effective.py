@@ -1,0 +1,96 @@
+"""Streamwise-averaged effective slip (satellite of the scenario work).
+
+The regression contract: for x-invariant physics (homogeneous walls)
+``effective_slip_fraction`` must reproduce the historical single-plane
+``slip_fraction(velocity_profile(...))`` **bit-for-bit** — the averaging
+layer may not perturb today's published numbers.  For patterned walls
+the per-plane values genuinely differ and the effective value is their
+mean.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lbm.components import ComponentSpec
+from repro.lbm.diagnostics import (
+    effective_apparent_slip_fraction,
+    effective_slip_fraction,
+    slip_fraction,
+    streamwise_slip_profile,
+    velocity_profile,
+)
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import D2Q9
+from repro.lbm.solver import LBMConfig, MulticomponentLBM
+from repro.scenarios import HomogeneousScenario, PatternedScenario
+
+SHAPE = (12, 20)
+
+
+def solver_for(scenario) -> MulticomponentLBM:
+    config = LBMConfig(
+        geometry=ChannelGeometry(shape=SHAPE),
+        components=(
+            ComponentSpec("water", tau=1.0, rho_init=1.0),
+            ComponentSpec("air", tau=1.0, rho_init=0.03),
+        ),
+        g_matrix=np.array([[0.0, 0.9], [0.9, 0.0]]),
+        lattice=D2Q9,
+        scenario=scenario,
+        body_acceleration=(1e-6, 0.0),
+    )
+    solver = MulticomponentLBM(config)
+    solver.run(60)
+    return solver
+
+
+@pytest.fixture(scope="module")
+def homogeneous_solver():
+    return solver_for(HomogeneousScenario(amplitude=0.06, decay_length=2.5))
+
+
+@pytest.fixture(scope="module")
+def patterned_solver():
+    return solver_for(
+        PatternedScenario(
+            amplitude_hi=0.06, amplitude_lo=0.0, period=4, duty=0.5
+        )
+    )
+
+
+def test_homogeneous_reproduces_single_plane_value_exactly(
+    homogeneous_solver,
+):
+    historical = slip_fraction(velocity_profile(homogeneous_solver))
+    effective = effective_slip_fraction(homogeneous_solver)
+    assert effective == historical  # bitwise, not approx
+
+
+def test_homogeneous_planes_are_all_identical(homogeneous_solver):
+    prof = streamwise_slip_profile(homogeneous_solver)
+    assert prof.values.shape == (SHAPE[0],)
+    assert np.all(prof.values == prof.values[0])
+
+
+def test_patterned_planes_vary_and_effective_is_their_mean(
+    patterned_solver,
+):
+    prof = streamwise_slip_profile(patterned_solver)
+    assert not np.all(prof.values == prof.values[0])
+    assert effective_slip_fraction(patterned_solver) == float(
+        prof.values.mean()
+    )
+
+
+def test_patterned_effective_sits_between_the_extremes(patterned_solver):
+    prof = streamwise_slip_profile(patterned_solver)
+    effective = effective_slip_fraction(patterned_solver)
+    assert prof.values.min() < effective < prof.values.max()
+
+
+def test_effective_apparent_slip_runs_on_homogeneous(homogeneous_solver):
+    # default boundary_layer=8 leaves no core in this narrow channel
+    value = effective_apparent_slip_fraction(
+        homogeneous_solver, boundary_layer=4.0
+    )
+    assert np.isfinite(value)

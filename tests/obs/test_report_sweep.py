@@ -1,0 +1,91 @@
+"""``repro.obs.report`` support for ``BENCH_sweep.json`` documents:
+metric flattening, file loading, and rate-like compare semantics
+(a hit-rate drop is a regression, a rise is an improvement)."""
+
+import copy
+import json
+
+from repro.obs.report import bench_metrics, compare_metrics, load_metrics
+
+SWEEP_DOC = {
+    "sweep": {
+        "shape": [12, 18],
+        "phases": 6,
+        "repeats": 3,
+        "unit": "samples_per_second",
+        "scenarios": {
+            "homogeneous": {
+                "samples": 6,
+                "submissions": 18,
+                "executions": 6,
+                "dedup_ratio": 0.667,
+                "cache_hit_rate": 0.667,
+                "samples_per_second": 72.8,
+                "us_per_point": 55.0,
+                "verified_bit_identical": True,
+            },
+            "patterned": {
+                "samples": 6,
+                "submissions": 18,
+                "executions": 3,
+                "dedup_ratio": 0.833,
+                "cache_hit_rate": 0.667,
+                "samples_per_second": 76.7,
+                "us_per_point": 52.0,
+                "verified_bit_identical": True,
+            },
+        },
+    }
+}
+
+
+def test_bench_metrics_flattens_the_scenario_section():
+    metrics = bench_metrics(SWEEP_DOC)
+    assert metrics["sweep.homogeneous.cache_hit_rate"] == 0.667
+    assert metrics["sweep.patterned.dedup_ratio"] == 0.833
+    assert metrics["sweep.homogeneous.us_per_point"] == 55.0
+    # booleans are verification flags, not comparable quantities
+    assert "sweep.homogeneous.verified_bit_identical" not in metrics
+
+
+def test_load_metrics_recognizes_a_sweep_file(tmp_path):
+    path = tmp_path / "BENCH_sweep.json"
+    path.write_text(json.dumps(SWEEP_DOC))
+    metrics = load_metrics(path)
+    assert metrics["sweep.patterned.samples_per_second"] == 76.7
+
+
+def test_hit_rate_drop_is_a_regression():
+    baseline = bench_metrics(SWEEP_DOC)
+    current_doc = copy.deepcopy(SWEEP_DOC)
+    scenario = current_doc["sweep"]["scenarios"]["homogeneous"]
+    scenario["cache_hit_rate"] = 0.2
+    scenario["dedup_ratio"] = 0.1
+    regressions = compare_metrics(
+        bench_metrics(current_doc), baseline, tolerance=0.1
+    )
+    names = {r[0] for r in regressions}
+    assert "sweep.homogeneous.cache_hit_rate" in names
+    assert "sweep.homogeneous.dedup_ratio" in names
+
+
+def test_us_per_point_rise_is_a_regression():
+    baseline = bench_metrics(SWEEP_DOC)
+    current_doc = copy.deepcopy(SWEEP_DOC)
+    current_doc["sweep"]["scenarios"]["patterned"]["us_per_point"] = 104.0
+    regressions = compare_metrics(
+        bench_metrics(current_doc), baseline, tolerance=0.1
+    )
+    assert {r[0] for r in regressions} == {"sweep.patterned.us_per_point"}
+
+
+def test_improvements_do_not_regress():
+    baseline = bench_metrics(SWEEP_DOC)
+    current_doc = copy.deepcopy(SWEEP_DOC)
+    scenario = current_doc["sweep"]["scenarios"]["homogeneous"]
+    scenario["cache_hit_rate"] = 0.9  # higher hit rate is better
+    scenario["us_per_point"] = 20.0  # lower time is better
+    assert (
+        compare_metrics(bench_metrics(current_doc), baseline, tolerance=0.1)
+        == []
+    )

@@ -1,0 +1,125 @@
+"""Scenario identity in the physics fingerprint.
+
+The serve cache and `run_batch` dedup both key on
+:func:`repro.api.spec_fingerprint`.  A scenario is physics, so *every*
+scenario parameter — including the rough wall's RNG seed, which selects
+a distinct random wall — must flip the fingerprint, and the scenario's
+canonical doc must appear in the spec document verbatim.
+"""
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import RunSpec, canonical_spec_doc, spec_fingerprint
+from repro.lbm.components import ComponentSpec
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import D2Q9
+from repro.lbm.solver import LBMConfig
+from repro.scenarios import (
+    HomogeneousScenario,
+    PatternedScenario,
+    RoughScenario,
+)
+
+BASES = {
+    "homogeneous": HomogeneousScenario(amplitude=0.06, decay_length=2.5),
+    "rough": RoughScenario(
+        amplitude=0.05, decay_length=2.5, rms=1.0, max_height=2, seed=7
+    ),
+    "patterned": PatternedScenario(
+        amplitude_hi=0.06, amplitude_lo=0.01, period=8, duty=0.5, phase=0,
+        decay_length=2.5,
+    ),
+}
+
+#: Per-scenario single-field perturbations — every dataclass field of
+#: every built-in scenario appears exactly once.
+SCENARIO_TWEAKS = {
+    "homogeneous.amplitude": ("homogeneous", {"amplitude": 0.09}),
+    "homogeneous.decay_length": ("homogeneous", {"decay_length": 3.0}),
+    "homogeneous.component": ("homogeneous", {"component": "air"}),
+    "rough.amplitude": ("rough", {"amplitude": 0.08}),
+    "rough.decay_length": ("rough", {"decay_length": 3.0}),
+    "rough.component": ("rough", {"component": "air"}),
+    "rough.rms": ("rough", {"rms": 1.5}),
+    "rough.max_height": ("rough", {"max_height": 3}),
+    "rough.seed": ("rough", {"seed": 8}),
+    "patterned.amplitude_hi": ("patterned", {"amplitude_hi": 0.09}),
+    "patterned.amplitude_lo": ("patterned", {"amplitude_lo": 0.02}),
+    "patterned.period": ("patterned", {"period": 4}),
+    "patterned.duty": ("patterned", {"duty": 0.75}),
+    "patterned.phase": ("patterned", {"phase": 1}),
+    "patterned.decay_length": ("patterned", {"decay_length": 3.0}),
+    "patterned.component": ("patterned", {"component": "air"}),
+}
+
+
+def _check_tweaks_cover_every_field():
+    for name, base in BASES.items():
+        fields = {f.name for f in dataclasses.fields(base)}
+        covered = {
+            next(iter(change))
+            for scenario, change in SCENARIO_TWEAKS.values()
+            if scenario == name
+        }
+        assert covered == fields, f"{name}: uncovered {fields - covered}"
+
+
+_check_tweaks_cover_every_field()
+
+
+def spec(scenario, phases: int = 4) -> RunSpec:
+    config = LBMConfig(
+        geometry=ChannelGeometry(shape=(12, 20)),
+        components=(
+            ComponentSpec("water", tau=1.0, rho_init=1.0),
+            ComponentSpec("air", tau=1.0, rho_init=0.03),
+        ),
+        g_matrix=np.array([[0.0, 0.9], [0.9, 0.0]]),
+        lattice=D2Q9,
+        scenario=scenario,
+        body_acceleration=(1e-6, 0.0),
+    )
+    return RunSpec(config=config, phases=phases)
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    tweak=st.sampled_from(sorted(SCENARIO_TWEAKS)),
+    phases=st.integers(min_value=1, max_value=32),
+)
+def test_every_scenario_parameter_flips_the_fingerprint(tweak, phases):
+    name, change = SCENARIO_TWEAKS[tweak]
+    base = BASES[name]
+    tweaked = dataclasses.replace(base, **change)
+    assert spec_fingerprint(spec(base, phases)) != spec_fingerprint(
+        spec(tweaked, phases)
+    )
+
+
+def test_scenario_identity_is_in_the_canonical_doc():
+    for name, base in BASES.items():
+        doc = canonical_spec_doc(spec(base))
+        assert doc["physics"]["scenario"] == base.doc()
+        assert doc["physics"]["scenario"]["name"] == name
+
+
+def test_fingerprint_is_stable_for_equal_scenarios():
+    for base in BASES.values():
+        rebuilt = dataclasses.replace(base)
+        assert spec_fingerprint(spec(base)) == spec_fingerprint(spec(rebuilt))
+
+
+def test_scenarios_are_distinguished_from_no_scenario():
+    fingerprints = {spec_fingerprint(spec(b)) for b in BASES.values()}
+    bare = dataclasses.replace(
+        spec(BASES["homogeneous"]),
+        config=dataclasses.replace(
+            spec(BASES["homogeneous"]).config, scenario=None
+        ),
+    )
+    assert len(fingerprints) == len(BASES)
+    assert spec_fingerprint(bare) not in fingerprints

@@ -1,0 +1,105 @@
+"""Scenario registry: lookup, round-trip, and registration contracts."""
+
+import dataclasses
+import json
+from typing import ClassVar
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    HomogeneousScenario,
+    PatternedScenario,
+    RoughScenario,
+    Scenario,
+    available_scenarios,
+    get_scenario_class,
+    register_scenario,
+    scenario_from_doc,
+)
+
+EXAMPLES = [
+    HomogeneousScenario(amplitude=0.07, decay_length=3.0),
+    RoughScenario(amplitude=0.05, rms=1.3, max_height=2, seed=42),
+    PatternedScenario(amplitude_hi=0.08, period=6, duty=0.25, phase=2),
+]
+
+
+def test_builtins_are_registered_sorted():
+    names = available_scenarios()
+    assert names == sorted(names)
+    assert {"homogeneous", "rough", "patterned"} <= set(names)
+
+
+@pytest.mark.parametrize("scenario", EXAMPLES, ids=lambda s: s.name)
+def test_lookup_by_name(scenario):
+    assert get_scenario_class(scenario.name) is type(scenario)
+
+
+def test_unknown_name_fails_loudly():
+    with pytest.raises(ValueError, match="superhydrophobic"):
+        get_scenario_class("superhydrophobic")
+
+
+@pytest.mark.parametrize("scenario", EXAMPLES, ids=lambda s: s.name)
+def test_doc_round_trips_exactly(scenario):
+    doc = scenario.doc()
+    assert doc["name"] == scenario.name
+    # canonical form must be JSON-serializable (it feeds fingerprints)
+    json.dumps(doc, sort_keys=True)
+    assert scenario_from_doc(doc) == scenario
+
+
+def test_doc_lists_every_dataclass_field():
+    for scenario in EXAMPLES:
+        field_names = {f.name for f in dataclasses.fields(scenario)}
+        assert set(scenario.doc()["params"]) == field_names
+
+
+def test_from_doc_rejects_unknown_scenario():
+    with pytest.raises(ValueError):
+        scenario_from_doc({"name": "no-such", "params": {}})
+
+
+def test_registering_a_duplicate_name_is_rejected():
+    with pytest.raises(ValueError, match="rough"):
+
+        @register_scenario
+        @dataclasses.dataclass(frozen=True)
+        class Dup(Scenario):  # pragma: no cover - registration must fail
+            name: ClassVar[str] = "rough"
+            component: str = "water"
+
+            def wall_accel(self, geometry):
+                return np.zeros((geometry.D, *geometry.shape))
+
+
+def test_registering_without_a_name_is_rejected():
+    with pytest.raises(ValueError):
+
+        @register_scenario
+        @dataclasses.dataclass(frozen=True)
+        class Nameless(Scenario):  # pragma: no cover - must fail
+            component: str = "water"
+
+            def wall_accel(self, geometry):
+                return np.zeros((geometry.D, *geometry.shape))
+
+
+def test_expected_trends_name_real_parameters():
+    for scenario in EXAMPLES:
+        field_names = {f.name for f in dataclasses.fields(scenario)}
+        trends = scenario.expected_trends()
+        assert trends, f"{scenario.name} declares no trends"
+        for param, direction in trends.items():
+            assert param in field_names
+            assert direction in ("+", "-")
+
+
+def test_geometry_signature_only_for_geometry_altering_scenarios():
+    homogeneous, rough, patterned = EXAMPLES
+    assert homogeneous.geometry_signature() is None
+    assert patterned.geometry_signature() is None
+    sig = rough.geometry_signature()
+    assert sig is not None and sig["name"] == "rough"
+    assert {"rms", "max_height", "seed"} <= set(sig)

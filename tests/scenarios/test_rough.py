@@ -1,0 +1,110 @@
+"""Rough walls: seeded height draws, displaced solid masks, the rms=0
+bitwise collapse to the flat wall, and parameter validation."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.lbm.components import ComponentSpec
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import D2Q9
+from repro.lbm.solver import LBMConfig, MulticomponentLBM
+from repro.scenarios import HomogeneousScenario, RoughScenario
+
+GEO = ChannelGeometry(shape=(12, 20))
+
+
+def config(scenario) -> LBMConfig:
+    return LBMConfig(
+        geometry=GEO,
+        components=(
+            ComponentSpec("water", tau=1.0, rho_init=1.0),
+            ComponentSpec("air", tau=1.0, rho_init=0.03),
+        ),
+        g_matrix=np.array([[0.0, 0.9], [0.9, 0.0]]),
+        lattice=D2Q9,
+        scenario=scenario,
+        body_acceleration=(1e-6, 0.0),
+    )
+
+
+def test_rms_zero_collapses_bitwise_to_the_flat_wall():
+    rough = RoughScenario(
+        amplitude=0.06, decay_length=2.5, rms=0.0, max_height=3, seed=5
+    )
+    flat = HomogeneousScenario(amplitude=0.06, decay_length=2.5)
+    assert np.array_equal(rough.solid_mask(GEO), GEO.solid_mask())
+    assert np.array_equal(rough.wall_accel(GEO), flat.wall_accel(GEO))
+    a = MulticomponentLBM(config(rough))
+    b = MulticomponentLBM(config(flat))
+    a.run(20)
+    b.run(20)
+    assert np.array_equal(a.f, b.f)
+
+
+def test_heights_are_deterministic_and_bounded():
+    scenario = RoughScenario(rms=1.5, max_height=2, seed=9)
+    first = scenario.solid_mask(GEO)
+    second = scenario.solid_mask(GEO)
+    assert np.array_equal(first, second)
+    heights = scenario._heights(GEO)
+    assert len(heights) == 2  # one draw per wall side
+    for h in heights.values():
+        assert h.shape == (GEO.shape[0],)
+        assert h.min() >= 0 and h.max() <= 2
+
+
+def test_displaced_mask_contains_the_base_walls():
+    scenario = RoughScenario(rms=1.5, max_height=3, seed=9)
+    mask = scenario.solid_mask(GEO)
+    base = GEO.solid_mask()
+    assert np.all(mask[base])  # roughness only ever adds solid
+    assert mask.sum() > base.sum()  # and this seed does add some
+
+
+def test_different_seed_different_wall():
+    a = RoughScenario(rms=1.5, max_height=3, seed=1)
+    b = RoughScenario(rms=1.5, max_height=3, seed=2)
+    assert not np.array_equal(a.solid_mask(GEO), b.solid_mask(GEO))
+
+
+def test_force_is_zero_on_solid_and_present_on_fluid():
+    scenario = RoughScenario(
+        amplitude=0.06, decay_length=2.5, rms=1.5, max_height=3, seed=9
+    )
+    accel = scenario.wall_accel(GEO)
+    solid = scenario.solid_mask(GEO)
+    assert accel.shape == (GEO.ndim, *GEO.shape)
+    assert not accel[:, solid].any()
+    assert np.abs(accel).max() > 0
+
+
+def test_too_narrow_channel_is_rejected():
+    scenario = RoughScenario(rms=1.0, max_height=3, seed=0)
+    narrow = ChannelGeometry(shape=(12, 8))
+    with pytest.raises(ValueError):
+        scenario.solid_mask(narrow)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"rms": -0.5},
+        {"max_height": -1},
+        {"amplitude": -0.1},
+        {"decay_length": 0.0},
+    ],
+)
+def test_parameter_validation(bad):
+    with pytest.raises((ValueError, TypeError)):
+        RoughScenario(**bad)
+
+
+def test_geometry_signature_tracks_the_roughness_knobs():
+    a = RoughScenario(amplitude=0.02, rms=1.0, max_height=3, seed=4)
+    b = RoughScenario(amplitude=0.09, rms=1.0, max_height=3, seed=4)
+    c = RoughScenario(amplitude=0.02, rms=1.0, max_height=3, seed=5)
+    # amplitude is not geometric: a and b share a wall, c does not
+    assert a.geometry_signature() == b.geometry_signature()
+    assert a.geometry_signature() != c.geometry_signature()

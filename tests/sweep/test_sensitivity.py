@@ -1,0 +1,100 @@
+"""Sensitivity designs: one-at-a-time monotone response on the
+homogeneous amplitude, and the variance (eta-squared) decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.lbm.components import ComponentSpec
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import D2Q9
+from repro.lbm.solver import LBMConfig
+from repro.scenarios import HomogeneousScenario
+from repro.sweep import (
+    SweepParameter,
+    Uniform,
+    one_at_a_time,
+    variance_sensitivity,
+)
+
+
+def base_config() -> LBMConfig:
+    return LBMConfig(
+        geometry=ChannelGeometry(shape=(10, 14)),
+        components=(
+            ComponentSpec("water", tau=1.0, rho_init=1.0),
+            ComponentSpec("air", tau=1.0, rho_init=0.03),
+        ),
+        g_matrix=np.array([[0.0, 0.9], [0.9, 0.0]]),
+        lattice=D2Q9,
+        scenario=HomogeneousScenario(amplitude=0.06, decay_length=2.5),
+        body_acceleration=(1e-6, 0.0),
+    )
+
+
+def test_oat_amplitude_response_is_monotone():
+    results = one_at_a_time(
+        base_config(),
+        40,
+        [SweepParameter("amplitude", Uniform(0.02, 0.12))],
+        levels=4,
+    )
+    (amplitude,) = results
+    assert amplitude.parameter == "amplitude"
+    assert amplitude.values.shape == amplitude.slips.shape == (4,)
+    assert np.all(np.diff(amplitude.values) > 0)
+    # a stronger hydrophobic repulsion means more slip, at every level
+    assert np.all(np.diff(amplitude.slips) > 0)
+    assert amplitude.span > 0.0
+
+
+def test_oat_holds_other_parameters_at_their_medians():
+    results = one_at_a_time(
+        base_config(),
+        4,
+        [
+            SweepParameter("amplitude", Uniform(0.02, 0.12)),
+            SweepParameter("decay_length", Uniform(1.5, 3.5)),
+        ],
+        levels=2,
+    )
+    assert [r.parameter for r in results] == ["amplitude", "decay_length"]
+    for r in results:
+        assert r.values.shape == (2,)
+
+
+def test_oat_requires_a_scenario():
+    import dataclasses
+
+    bare = dataclasses.replace(base_config(), scenario=None)
+    with pytest.raises(ValueError, match="scenario"):
+        one_at_a_time(
+            bare, 4, [SweepParameter("amplitude", Uniform(0.0, 1.0))]
+        )
+
+
+def test_variance_sensitivity_finds_the_dominant_parameter():
+    rng = np.random.default_rng(5)
+    x = rng.random(64)
+    noise = rng.random(64)
+    samples = [
+        {"driver": float(a), "bystander": float(b)}
+        for a, b in zip(x, noise)
+    ]
+    values = 3.0 * x + 0.05 * noise
+    eta2 = variance_sensitivity(samples, values)
+    assert eta2["driver"] > 0.8
+    assert eta2["bystander"] < 0.3
+    assert all(0.0 <= v <= 1.0 for v in eta2.values())
+
+
+def test_variance_sensitivity_flat_response_is_zero():
+    samples = [{"p": float(i)} for i in range(10)]
+    eta2 = variance_sensitivity(samples, [1.0] * 10)
+    assert eta2["p"] == 0.0
+
+
+def test_variance_sensitivity_validates_shapes():
+    with pytest.raises(ValueError):
+        variance_sensitivity([], [])
+    with pytest.raises(ValueError):
+        variance_sensitivity([{"p": 1.0}], [1.0, 2.0])

@@ -1,0 +1,149 @@
+"""SweepSpec contracts: seeded determinism, LHS stratification, integer
+field coercion, compiled RunSpec lists, provenance docs, validation."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.lbm.components import ComponentSpec
+from repro.lbm.geometry import ChannelGeometry
+from repro.lbm.lattice import D2Q9
+from repro.lbm.solver import LBMConfig
+from repro.scenarios import HomogeneousScenario, PatternedScenario
+from repro.sweep import (
+    Discrete,
+    SweepParameter,
+    SweepSpec,
+    Uniform,
+)
+
+
+def base_config(scenario=None) -> LBMConfig:
+    return LBMConfig(
+        geometry=ChannelGeometry(shape=(10, 14)),
+        components=(
+            ComponentSpec("water", tau=1.0, rho_init=1.0),
+            ComponentSpec("air", tau=1.0, rho_init=0.03),
+        ),
+        g_matrix=np.array([[0.0, 0.9], [0.9, 0.0]]),
+        lattice=D2Q9,
+        scenario=scenario
+        or HomogeneousScenario(amplitude=0.06, decay_length=2.5),
+        body_acceleration=(1e-6, 0.0),
+    )
+
+
+def sweep(**overrides) -> SweepSpec:
+    defaults = dict(
+        base_config=base_config(),
+        phases=4,
+        parameters=(
+            SweepParameter("amplitude", Uniform(0.02, 0.1)),
+            SweepParameter("decay_length", Uniform(1.5, 3.5)),
+        ),
+        n_samples=8,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+def test_samples_are_a_pure_function_of_the_spec():
+    assert sweep().samples() == sweep().samples()
+    assert sweep(seed=8).samples() != sweep(seed=7).samples()
+
+
+def test_samples_respect_the_priors():
+    for sample in sweep().samples():
+        assert 0.02 <= sample["amplitude"] <= 0.1
+        assert 1.5 <= sample["decay_length"] <= 3.5
+
+
+def test_lhs_visits_every_stratum_once_per_dimension():
+    spec = sweep(sampler="lhs", n_samples=8)
+    u = spec._uniforms()
+    for j in range(u.shape[1]):
+        strata = np.sort(np.floor(u[:, j] * 8).astype(int))
+        assert strata.tolist() == list(range(8))
+
+
+def test_mc_and_lhs_share_the_prior_support():
+    for sampler in ("mc", "lhs"):
+        for sample in sweep(sampler=sampler).samples():
+            assert 0.02 <= sample["amplitude"] <= 0.1
+
+
+def test_integer_fields_are_coerced_to_int():
+    spec = sweep(
+        base_config=base_config(
+            PatternedScenario(amplitude_hi=0.06, period=8, duty=0.5)
+        ),
+        parameters=(
+            SweepParameter("period", Discrete((4.0, 8.0, 16.0))),
+            SweepParameter("duty", Uniform(0.0, 1.0)),
+        ),
+    )
+    for sample in spec.samples():
+        assert isinstance(sample["period"], int)
+        assert isinstance(sample["duty"], float)
+    for config in spec.configs():
+        assert config.scenario.period in (4, 8, 16)
+
+
+def test_run_specs_expand_repeats_back_to_back():
+    spec = sweep(n_samples=3, repeats=2)
+    specs = spec.run_specs()
+    assert len(specs) == 6
+    assert specs[0].fingerprint() == specs[1].fingerprint()
+    assert specs[0].fingerprint() != specs[2].fingerprint()
+    assert all(s.phases == 4 for s in specs)
+
+
+def test_configs_replace_only_the_swept_fields():
+    spec = sweep()
+    for config, sample in zip(spec.configs(), spec.samples()):
+        assert config.scenario.amplitude == sample["amplitude"]
+        assert config.scenario.component == "water"  # untouched
+        assert config.geometry == spec.base_config.geometry
+
+
+def test_doc_is_canonical_json_provenance():
+    doc = sweep(sampler="lhs", repeats=3).doc()
+    json.dumps(doc, sort_keys=True)
+    assert doc["scenario"]["name"] == "homogeneous"
+    assert doc["sampler"] == "lhs"
+    assert doc["repeats"] == 3
+    assert [p["name"] for p in doc["parameters"]] == [
+        "amplitude",
+        "decay_length",
+    ]
+
+
+def test_scenarioless_base_config_rejected():
+    bare = dataclasses.replace(base_config(), scenario=None)
+    with pytest.raises(ValueError, match="scenario"):
+        sweep(base_config=bare)
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"parameters": ()},
+        {
+            "parameters": (
+                SweepParameter("amplitude", Uniform(0.0, 1.0)),
+                SweepParameter("amplitude", Uniform(0.0, 1.0)),
+            )
+        },
+        {"parameters": (SweepParameter("no_such_field", Uniform(0.0, 1.0)),)},
+        {"n_samples": 0},
+        {"phases": 0},
+        {"repeats": 0},
+        {"sampler": "sobol"},
+    ],
+)
+def test_invalid_specs_rejected(overrides):
+    with pytest.raises(ValueError):
+        sweep(**overrides)
