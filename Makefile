@@ -1,6 +1,6 @@
-.PHONY: install test lint bench bench-kernels bench-transport bench-serve \
-    bench-sweep experiments experiments-fast trace-demo ckpt-demo \
-    serve-demo clean
+.PHONY: install test lint bench bench-kernels bench-transport bench-halo \
+    bench-serve bench-sweep experiments experiments-fast trace-demo \
+    ckpt-demo serve-demo clean
 
 install:
 	pip install -e '.[test]'
@@ -24,6 +24,11 @@ bench-kernels:
 # Threads vs. processes on the identical run; writes BENCH_transport.json.
 bench-transport:
 	pytest benchmarks/test_bench_transport.py --benchmark-only
+
+# Overlapped vs. blocking halo schedule over an emulated-latency link;
+# writes BENCH_halo.json (exposed communication time per schedule).
+bench-halo:
+	pytest benchmarks/test_bench_halo.py --benchmark-only
 
 # Scheduler vs. naive sequential submission under duplicate-heavy load;
 # writes BENCH_serve.json (also available as the fig-serve experiment).

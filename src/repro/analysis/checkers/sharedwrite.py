@@ -57,10 +57,15 @@ MUTATOR_METHODS = {
 #: the cross-rank APIs themselves.
 SANCTIONED: dict[str, frozenset[str]] = {
     "repro/parallel/threads.py": frozenset(
-        {"ThreadCommunicator.send"}
+        {"ThreadCommunicator.send", "ThreadCommunicator.isend"}
     ),
     "repro/parallel/halo.py": frozenset(
-        {"HaloExchanger.exchange_f", "HaloExchanger.exchange_scalar"}
+        {
+            "HaloExchanger.exchange_f",
+            "HaloExchanger.exchange_scalar",
+            "HaloExchanger._exchange_f_y",
+            "HaloExchanger._exchange_scalar_y",
+        }
     ),
     "repro/parallel/migration.py": frozenset(
         {"pack_planes", "unpack_planes"}

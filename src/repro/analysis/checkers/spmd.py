@@ -8,7 +8,9 @@ argument over the whole-program call graph summaries:
 
 1. **Tag mismatch** — a ``send`` whose normalized tag unifies with no
    ``recv`` anywhere in scope (or vice versa) is a message that can
-   never be delivered/satisfied.  Generic forwarders whose tag is a
+   never be delivered/satisfied.  The nonblocking pair ``isend`` /
+   ``irecv`` joins the same corpus (posting is sending; a posted
+   receive must still be fed).  Generic forwarders whose tag is a
    bare function parameter (``sendrecv``, ``exchange_with_neighbours``)
    are excluded from the corpus.
 2. **Deadlock shape** — a blocking ``recv`` reachable only under a
@@ -77,9 +79,9 @@ class SpmdProtocolChecker(ProjectChecker):
             for cc in summary.comm_calls:
                 if cc.tag_is_param:
                     continue  # generic forwarder, matched at its call sites
-                if cc.kind in ("send", "sendrecv"):
+                if cc.kind in ("send", "sendrecv", "isend"):
                     sends.append((summary, cc))
-                if cc.kind in ("recv", "sendrecv"):
+                if cc.kind in ("recv", "sendrecv", "irecv"):
                     recvs.append((summary, cc))
         for summary, cc in sends:
             if not any(tags_unify(cc.tag, r.tag) for _, r in recvs):
@@ -106,7 +108,11 @@ class SpmdProtocolChecker(ProjectChecker):
     ) -> Iterator[Finding]:
         from repro.analysis.flow.summaries import format_tag, tags_unify
 
-        sends = [cc for cc in summary.comm_calls if cc.kind in ("send", "sendrecv")]
+        sends = [
+            cc
+            for cc in summary.comm_calls
+            if cc.kind in ("send", "sendrecv", "isend")
+        ]
         for cc in summary.comm_calls:
             if cc.kind != "recv" or not cc.rank_conditional:
                 continue

@@ -249,6 +249,10 @@ def _classify_comm(call: ast.Call) -> tuple[str, ast.AST | None] | None:
         return "send", args[1]
     if meth == "recv" and len(args) >= 2:
         return "recv", args[1]
+    if meth == "isend" and len(args) >= 3:
+        return "isend", args[1]
+    if meth == "irecv" and len(args) >= 2:
+        return "irecv", args[1]
     if meth == "sendrecv" and len(args) >= 4:
         return "sendrecv", args[3]
     if meth == "allgather" and len(args) >= 2:

@@ -10,6 +10,8 @@ the parallel driver (``ranks > 1``) on either transport::
 
     spec = RunSpec(config=cfg, phases=1000, ranks=4, transport="processes")
     result = run(spec)
+    spec2d = RunSpec(config=cfg, phases=1000, decomp=(2, 2))  # ranks derived
+    result = run(spec2d)
     result.f          # global populations (C, Q, nx, *cross)
     result.solver()   # a sequential solver holding the final state
 
@@ -33,6 +35,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -73,9 +76,10 @@ class RunSpec:
 
     Sequential runs (``ranks == 1``, the default) execute on the
     in-process :class:`~repro.lbm.solver.MulticomponentLBM`; parallel
-    runs (``ranks > 1``) on the slab-decomposed driver over the chosen
-    *transport*.  Fields left at their defaults are overlaid from the
-    environment by :func:`run` (see :mod:`repro.config`).
+    runs (``ranks > 1``) on the domain-decomposed driver over the chosen
+    *transport*, laid out per ``decomp`` (1-D slabs by default, or a
+    2-D rank grid).  Fields left at their defaults are overlaid from
+    the environment by :func:`run` (see :mod:`repro.config`).
     """
 
     #: Physics/geometry configuration (shared by every rank).
@@ -83,8 +87,18 @@ class RunSpec:
     #: Total phase target.  With ``resume=True`` this is absolute: a
     #: restored run executes only the remainder.
     phases: int
-    #: 1 = sequential solver; > 1 = parallel slab decomposition.
+    #: 1 = sequential solver; > 1 = parallel decomposition.  Derived
+    #: from ``decomp`` when that is an explicit ``(rows, cols)`` grid.
     ranks: int = 1
+    #: Parallel decomposition: ``"auto"`` (1-D slab over ``ranks``, the
+    #: historical layout), ``"slab"`` (explicit alias), ``"grid"``
+    #: (most-square 2-D factorization of ``ranks``), or an explicit
+    #: ``(rows, cols)`` tuple.  With a tuple and ``ranks`` left at its
+    #: default, ``ranks`` is derived as ``rows * cols``.
+    decomp: str | tuple[int, int] = "auto"
+    #: Overlap interior kernel compute with halo exchange (parallel
+    #: only; bit-identical to the blocking schedule by construction).
+    halo_overlap: bool = True
     #: ``"threads"`` | ``"processes"`` | None (environment, then threads).
     transport: str | None = None
     #: Kernel-backend override; None keeps ``config.backend``.
@@ -94,7 +108,8 @@ class RunSpec:
     remap_config: RemappingConfig | None = None
     #: Synthetic per-phase load index for remapping tests (parallel only).
     load_time_fn: LoadTimeFn | None = None
-    #: Initial planes per rank (parallel only); None splits evenly.
+    #: Initial planes per rank (1-D slab only; deprecated — express the
+    #: layout through ``decomp`` instead).  None splits evenly.
     initial_counts: tuple[int, ...] | None = None
     observer: ObserverLike = field(default=NULL_OBSERVER)
     #: Write a self-contained JSONL trace here (exclusive with observer).
@@ -119,7 +134,35 @@ class RunSpec:
             raise ValueError(
                 f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
             )
+        if isinstance(self.decomp, str):
+            if self.decomp not in ("auto", "slab", "grid"):
+                raise ValueError(
+                    f"decomp must be 'auto', 'slab', 'grid' or a "
+                    f"(rows, cols) tuple, got {self.decomp!r}"
+                )
+        else:
+            grid = tuple(int(n) for n in self.decomp)
+            if len(grid) != 2 or grid[0] < 1 or grid[1] < 1:
+                raise ValueError(
+                    f"decomp grid must be two positive integers "
+                    f"(rows, cols), got {self.decomp!r}"
+                )
+            object.__setattr__(self, "decomp", grid)
+            if self.ranks == 1:
+                # ranks left at its default: derive it from the grid.
+                object.__setattr__(self, "ranks", grid[0] * grid[1])
+            elif self.ranks != grid[0] * grid[1]:
+                raise ValueError(
+                    f"decomp grid {grid} needs {grid[0] * grid[1]} ranks "
+                    f"but ranks={self.ranks}"
+                )
         if self.initial_counts is not None:
+            warnings.warn(
+                "initial_counts is a 1-D-slab-only knob and is deprecated; "
+                "express the layout through decomp instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
             object.__setattr__(
                 self, "initial_counts", tuple(int(n) for n in self.initial_counts)
             )
@@ -151,8 +194,9 @@ def canonical_spec_doc(spec: RunSpec) -> dict[str, Any]:
     can never conflate two scenarios that share the remaining knobs —
     while excluding the kernel backend, an implementation choice, not a
     model) and the phase target.  Execution knobs — rank
-    count, transport, remapping policy, checkpoint/trace/observer
-    machinery — are deliberately absent: the transports and backends are
+    count, decomposition layout, halo-overlap schedule, transport,
+    remapping policy, checkpoint/trace/observer machinery — are
+    deliberately absent: the transports, backends and decompositions are
     bit-identical by contract, so two specs differing only there produce
     the same populations.  Consequently the environment overlay
     (:meth:`repro.config.EnvConfig.overlay`), which touches only
@@ -236,7 +280,6 @@ def run(spec: RunSpec) -> RunResult:
             if getattr(spec, name) is not None:
                 raise ValueError(f"{name} requires ranks > 1")
         return _run_sequential(spec, config, store)
-    _check_parallel_scenario(config)
     results = _run_parallel(spec, config, store)
     return RunResult(
         spec=spec,
@@ -253,20 +296,7 @@ def execute_parallel(spec: RunSpec) -> list[ParallelRunResult]:
     solver) and return the raw per-rank results."""
     spec = config_mod.from_env().overlay(spec)
     config = spec.resolved_config()
-    _check_parallel_scenario(config)
     return _run_parallel(spec, config, _store_for(spec, config))
-
-
-def _check_parallel_scenario(config: LBMConfig) -> None:
-    """Fail fast (before any rank launches) when a spec asks the
-    slab-decomposed driver to run a scenario that varies along the flow
-    axis; the driver itself re-checks as a backstop."""
-    if config.scenario is not None and not config.scenario.x_invariant:
-        raise ValueError(
-            f"scenario {config.scenario.name!r} varies along the flow axis "
-            f"and cannot run on the slab-decomposed parallel driver; use "
-            f"ranks=1 or the batched ensemble path"
-        )
 
 
 @dataclass

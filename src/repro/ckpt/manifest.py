@@ -55,7 +55,14 @@ class CheckpointRejected(CheckpointError):
 
 @dataclass(frozen=True)
 class ShardInfo:
-    """One shard's entry in the manifest."""
+    """One shard's entry in the manifest.
+
+    ``plane_start``/``plane_count`` delimit the shard's x band;
+    ``col_start``/``col_count`` its band along the first cross-section
+    axis.  ``col_count=None`` means the full cross extent — the 1-D slab
+    layout, and what every pre-2-D manifest implicitly carried, so old
+    generations parse unchanged.
+    """
 
     filename: str
     rank: int
@@ -63,12 +70,15 @@ class ShardInfo:
     plane_count: int
     sha256: str
     nbytes: int
+    col_start: int = 0
+    col_count: int | None = None
 
     def to_json(self) -> dict[str, Any]:
         return asdict(self)
 
     @classmethod
     def from_json(cls, doc: dict[str, Any]) -> "ShardInfo":
+        col_count = doc.get("col_count")
         return cls(
             filename=str(doc["filename"]),
             rank=int(doc["rank"]),
@@ -76,6 +86,8 @@ class ShardInfo:
             plane_count=int(doc["plane_count"]),
             sha256=str(doc["sha256"]),
             nbytes=int(doc["nbytes"]),
+            col_start=int(doc.get("col_start", 0)),
+            col_count=None if col_count is None else int(col_count),
         )
 
 
@@ -98,25 +110,55 @@ class Manifest:
         return sum(s.nbytes for s in self.shards)
 
     def shards_in_x_order(self) -> tuple[ShardInfo, ...]:
-        return tuple(sorted(self.shards, key=lambda s: s.plane_start))
+        return tuple(
+            sorted(self.shards, key=lambda s: (s.plane_start, s.col_start))
+        )
+
+    def is_two_dimensional(self) -> bool:
+        """Whether any shard owns less than the full cross extent."""
+        return any(s.col_count is not None for s in self.shards)
 
     def validate_coverage(self) -> None:
-        """Shards must tile ``[0, nx)`` exactly once, in any rank order."""
-        ordered = self.shards_in_x_order()
-        expected = 0
-        for shard in ordered:
-            if shard.plane_start != expected:
-                raise CorruptCheckpointError(
-                    f"shard {shard.filename} starts at plane "
-                    f"{shard.plane_start}, expected {expected} "
-                    f"(gap or overlap in the ownership map)"
-                )
+        """Shard rectangles must tile the ``nx × ny`` domain exactly once,
+        in any rank order: the x bands tile ``[0, nx)`` and, within each
+        x band, the column bands tile ``[0, ny)``."""
+        shape = self.fingerprint.get("shape")
+        ny = int(shape[1]) if shape is not None and len(shape) > 1 else 1
+        bands: dict[tuple[int, int], list[ShardInfo]] = {}
+        for shard in self.shards:
             if shard.plane_count < 1:
                 raise CorruptCheckpointError(
                     f"shard {shard.filename} owns {shard.plane_count} planes"
                 )
-            expected += shard.plane_count
-        nx = int(self.fingerprint.get("shape", [expected])[0])
+            bands.setdefault(
+                (shard.plane_start, shard.plane_count), []
+            ).append(shard)
+        expected = 0
+        for (start, count), members in sorted(bands.items()):
+            if start != expected:
+                raise CorruptCheckpointError(
+                    f"shard {members[0].filename} starts at plane "
+                    f"{start}, expected {expected} "
+                    f"(gap or overlap in the ownership map)"
+                )
+            expected += count
+            col_expected = 0
+            for shard in sorted(members, key=lambda s: s.col_start):
+                cols = ny if shard.col_count is None else shard.col_count
+                if shard.col_start != col_expected or cols < 1:
+                    raise CorruptCheckpointError(
+                        f"shard {shard.filename} starts at column "
+                        f"{shard.col_start} with {cols} columns, expected "
+                        f"column {col_expected} (gap or overlap in the "
+                        f"ownership map)"
+                    )
+                col_expected += cols
+            if col_expected != ny:
+                raise CorruptCheckpointError(
+                    f"x band at plane {start} covers {col_expected} columns "
+                    f"but the domain has {ny}"
+                )
+        nx = int(shape[0]) if shape is not None else expected
         if expected != nx:
             raise CorruptCheckpointError(
                 f"shards cover {expected} planes but the domain has {nx}"

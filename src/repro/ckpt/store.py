@@ -248,15 +248,34 @@ class CheckpointStore:
         self, manifest: Manifest, *, verify: bool = True
     ) -> np.ndarray:
         """Reassemble the global population array ``(C, Q, nx, *cross)``
-        from the manifest's shards, in plane order — works for any shard
-        count, so a 4-rank checkpoint restores into a sequential solver
+        from the manifest's shards — works for any shard count and for
+        both shard layouts (1-D x bands and 2-D ownership rectangles),
+        so a 4-rank or 2×2 checkpoint restores into a sequential solver
         or a 2-rank run just as well."""
         manifest.validate_coverage()
-        pieces = [
-            self.load_shard_arrays(manifest, shard, verify=verify)["f"]
-            for shard in manifest.shards_in_x_order()
-        ]
-        return np.concatenate(pieces, axis=2)
+        if not manifest.is_two_dimensional():
+            pieces = [
+                self.load_shard_arrays(manifest, shard, verify=verify)["f"]
+                for shard in manifest.shards_in_x_order()
+            ]
+            return np.concatenate(pieces, axis=2)
+        out: np.ndarray | None = None
+        spatial = tuple(int(s) for s in manifest.fingerprint["shape"])
+        for shard in manifest.shards_in_x_order():
+            piece = self.load_shard_arrays(manifest, shard, verify=verify)["f"]
+            if out is None:
+                out = np.zeros(piece.shape[:2] + spatial, dtype=piece.dtype)
+            cols = (
+                piece.shape[3] if shard.col_count is None else shard.col_count
+            )
+            out[
+                :,
+                :,
+                shard.plane_start : shard.plane_start + shard.plane_count,
+                shard.col_start : shard.col_start + cols,
+            ] = piece
+        assert out is not None  # validate_coverage guarantees >= 1 shard
+        return out
 
     # ------------------------------------------------------------ writing
     def write_shard(
@@ -267,9 +286,13 @@ class CheckpointStore:
         *,
         plane_start: int,
         plane_count: int,
+        col_start: int = 0,
+        col_count: int | None = None,
     ) -> ShardInfo:
         """Atomically write one shard ``.npz`` and return its manifest
-        entry (checksummed).  Safe to call concurrently from rank
+        entry (checksummed).  ``col_start``/``col_count`` record a 2-D
+        ownership rectangle; the defaults mean the full cross extent
+        (the 1-D slab layout).  Safe to call concurrently from rank
         threads — filenames are rank-disjoint."""
         if "f" not in arrays:
             raise ValueError("a shard must carry the 'f' population array")
@@ -288,6 +311,8 @@ class CheckpointStore:
             plane_count=plane_count,
             sha256=sha256_file(path),
             nbytes=nbytes,
+            col_start=col_start,
+            col_count=col_count,
         )
 
     def commit(

@@ -396,8 +396,18 @@ class FusedBackend(KernelBackend):
     ) -> None:
         C, Q = f.shape[:2]
         fv = f.reshape(C, Q, -1)
-        np.sum(fv, axis=1, out=rho_out.reshape(C, -1))
-        np.matmul(self._cfT, fv, out=mom_out.reshape(C, self.lattice.D, -1))
+        rho_flat = rho_out.reshape(C, -1)
+        mom_flat = mom_out.reshape(C, self.lattice.D, -1)
+        np.sum(fv, axis=1, out=rho_flat)
+        np.matmul(self._cfT, fv, out=mom_flat)
+        # Non-contiguous outs (the overlapped driver's edge/interior
+        # pieces) reshape to fresh copies, so the reductions above land in
+        # a buffer the caller never sees: write them back through the
+        # views.  Contiguous outs reshape to views and skip this.
+        if not np.may_share_memory(rho_flat, rho_out):
+            rho_out[...] = rho_flat.reshape(rho_out.shape)
+        if not np.may_share_memory(mom_flat, mom_out):
+            mom_out[...] = mom_flat.reshape(mom_out.shape)
         for ci in range(C):  # scalar scale per component: buffer-free
             rho_out[ci] *= self.masses[ci]
             mom_out[ci] *= self.masses[ci]

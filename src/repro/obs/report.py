@@ -258,7 +258,11 @@ def bench_metrics(doc: dict) -> dict[str, float]:
     ``sweep`` section (``BENCH_sweep.json``) yields per-scenario
     ``sweep.<scenario>.*`` entries — samples/s, cache hit-rate and
     dedup ratio (rate-like: a drop is the regression) plus µs/point
-    (time-like).
+    (time-like); the ``halo`` section (``BENCH_halo.json``) yields
+    per-schedule ``halo.<schedule>.*_seconds`` entries — wall-clock and
+    exposed communication wait, both time-like, so an overlap regression
+    (exposed wait creeping back toward the blocking schedule's) trips
+    the gate.
     """
     out: dict[str, float] = {}
     for kernel, values in doc.get("benchmarks", {}).items():
@@ -285,6 +289,11 @@ def bench_metrics(doc: dict) -> dict[str, float]:
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 continue
             out[f"sweep.{scenario}.{key}"] = float(value)
+    for schedule, values in doc.get("halo", {}).get("schedules", {}).items():
+        for key, value in values.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            out[f"halo.{schedule}.{key}"] = float(value)
     return out
 
 
@@ -299,7 +308,10 @@ def load_metrics(path: str | Path) -> dict[str, float]:
     except json.JSONDecodeError:
         doc = None  # multi-line JSONL trace
     if isinstance(doc, dict) and (
-        "benchmarks" in doc or "serve" in doc or "sweep" in doc
+        "benchmarks" in doc
+        or "serve" in doc
+        or "sweep" in doc
+        or "halo" in doc
     ):
         return bench_metrics(doc)
     return trace_metrics(read_trace(path))

@@ -1,20 +1,27 @@
 """The communicator abstraction.
 
-A tiny MPI subset sufficient for the paper's algorithm: tagged
-point-to-point send/recv between ranks of a fixed-size world, sendrecv
-pairs, barrier and allgather.  Tags keep phases and message kinds apart so
-the lock-step protocol is deterministic regardless of thread scheduling.
+A tiny MPI subset sufficient for the paper's algorithm — generalized to
+the nonblocking style the 2-D overlapped halo exchange needs.  The
+abstract primitives are ``isend``/``irecv``, both returning a waitable
+:class:`Request` handle; the blocking ``send``/``recv``/``sendrecv``
+calls are derived wrappers (post + wait), so a transport implements only
+the nonblocking set.  Tags keep phases and message kinds apart so the
+lock-step protocol is deterministic regardless of scheduling.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
+
+#: Default patience of a blocking wait before the transport declares the
+#: peer dead (shared by both transports so hang diagnostics match).
+DEFAULT_RECV_TIMEOUT = 60.0
 
 
 class CommunicatorTimeout(TimeoutError):
-    """A blocking receive gave up waiting.
+    """A blocking receive (or request wait) gave up waiting.
 
     Raised by every transport (threads *and* processes) with the same
     diagnostic fields, so a hung protocol names the rank, the peer and
@@ -59,8 +66,73 @@ class ReceivedMessage:
     payload: Any
 
 
+class Request:
+    """A waitable handle for a posted nonblocking operation.
+
+    ``wait()`` blocks until the operation completes and returns its value
+    (the received payload for an ``irecv``, ``None`` for an ``isend``).
+    Waiting twice returns the same cached value — requests are
+    single-shot but idempotent.  ``done()`` reports completion without
+    blocking (conservative: it may say ``False`` for a message that
+    would be delivered instantly).
+    """
+
+    __slots__ = ("_complete", "_value", "_resolve", "_test")
+
+    def __init__(
+        self,
+        resolve: Callable[[float | None], Any] | None = None,
+        test: Callable[[], bool] | None = None,
+    ):
+        self._complete = resolve is None
+        self._value: Any = None
+        self._resolve = resolve
+        self._test = test
+
+    @classmethod
+    def completed(cls, value: Any = None) -> "Request":
+        """An already-finished request (buffered sends complete eagerly)."""
+        req = cls()
+        req._value = value
+        return req
+
+    def done(self) -> bool:
+        if self._complete:
+            return True
+        if self._test is not None:
+            return self._test()
+        return False
+
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block until completion; returns the operation's value.
+
+        *timeout* bounds the wait in seconds (``None``: the transport's
+        default); expiry raises :class:`CommunicatorTimeout` naming the
+        rank/peer/tag being waited on.
+        """
+        if not self._complete:
+            resolve = self._resolve
+            assert resolve is not None
+            self._value = resolve(timeout)
+            self._complete = True
+            self._resolve = None
+            self._test = None
+        return self._value
+
+
+def wait_all(requests: list[Request], timeout: float | None = None) -> list[Any]:
+    """Wait on every request (in order) and return their values."""
+    return [req.wait(timeout) for req in requests]
+
+
 class Communicator(ABC):
-    """Point of contact of one rank with the rest of the world."""
+    """Point of contact of one rank with the rest of the world.
+
+    Transports implement only the nonblocking primitives (plus the
+    collectives); the blocking calls are derived post-then-wait
+    wrappers, so ``send``/``recv``/``sendrecv`` behave identically on
+    every transport by construction.
+    """
 
     @property
     @abstractmethod
@@ -72,15 +144,30 @@ class Communicator(ABC):
     def size(self) -> int:
         """World size."""
 
+    # --------------------------------------------------------- nonblocking
     @abstractmethod
-    def send(self, dest: int, tag: Hashable, payload: Any) -> None:
-        """Asynchronous send (never blocks in this in-process transport)."""
+    def isend(self, dest: int, tag: Hashable, payload: Any) -> Request:
+        """Post a buffered send; the returned request is typically already
+        complete (both in-process transports copy into transit storage
+        eagerly, so ``isend`` never blocks on the receiver)."""
 
     @abstractmethod
-    def recv(self, source: int, tag: Hashable) -> Any:
-        """Blocking receive of the message with exactly (source, tag)."""
+    def irecv(self, source: int, tag: Hashable) -> Request:
+        """Post a receive for exactly (source, tag); ``wait()`` on the
+        returned request blocks until the message arrives and returns
+        its payload."""
 
     # ------------------------------------------------------------- derived
+    def send(self, dest: int, tag: Hashable, payload: Any) -> None:
+        """Blocking send (completes as soon as the payload is buffered)."""
+        self.isend(dest, tag, payload).wait()
+
+    def recv(
+        self, source: int, tag: Hashable, timeout: float | None = None
+    ) -> Any:
+        """Blocking receive of the message with exactly (source, tag)."""
+        return self.irecv(source, tag).wait(timeout)
+
     def sendrecv(
         self,
         dest: int,
@@ -90,7 +177,7 @@ class Communicator(ABC):
     ) -> Any:
         """Send to *dest* and receive from *source* under the same tag —
         the boundary-exchange primitive of Figure 2 (lines 8 and 14)."""
-        self.send(dest, tag, send_payload)
+        self.isend(dest, tag, send_payload)
         return self.recv(source, tag)
 
     def exchange_with_neighbours(
@@ -115,6 +202,7 @@ class Communicator(ABC):
         from_right = self.recv(right, tag) if right is not None else None
         return from_left, from_right
 
+    # ---------------------------------------------------------- collectives
     @abstractmethod
     def barrier(self) -> None:
         """Block until every rank entered the barrier."""

@@ -1,13 +1,25 @@
 """The parallel multicomponent LBM driver — Figure 2 of the paper, for real.
 
-Each rank owns an x-slab of the channel (plus ghost planes) and runs, per
-phase: collision, halo exchange of the boundary distribution functions,
+Each rank owns an x-slab of the channel — or, under a 2-D
+:class:`~repro.parallel.decomposition.CartTopology`, a rectangle of x
+planes × cross-section columns — plus ghost cells, and runs, per phase:
+collision, halo exchange of the boundary distribution functions,
 streaming + bounce-back, moment update, halo exchange of the number
 densities, force and velocity computation.  Every ``REMAPPING_INTERVAL``
 phases the ranks exchange load indices with their chain neighbours (or
 allgather for the global scheme), agree on plane transfers using exactly
 the window logic of :mod:`repro.core.policies`, and migrate raw
-population planes.
+population planes; a 2-D grid rebalances each axis' bands the same way
+from one shared allgather.
+
+By default the halo exchange is *overlapped*: each rank collides its
+one-plane x-boundary strips first, posts the nonblocking f exchange,
+collides the interior while the messages fly, and only then waits — the
+same split applies to the moment update around the density exchange.
+Both schedules are bit-identical (collision and moments are pointwise),
+so ``halo_overlap=False`` changes timing only; fault-injection runs
+force the blocking schedule so the ``mid_phase`` fault point fires with
+no messages in flight.
 
 The transport is the in-process :class:`~repro.parallel.threads.LocalCluster`;
 to make remapping *behaviour* testable without real background jobs, a
@@ -55,10 +67,20 @@ from repro.obs.observer import (
 )
 from repro.obs.sink import JsonlSink, MemorySink
 from repro.parallel.api import Communicator
-from repro.parallel.decomposition import SlabDecomposition
+from repro.parallel.decomposition import (
+    CartTopology,
+    SlabDecomposition,
+    even_split,
+    grid_for,
+)
 from repro.parallel.halo import HaloExchanger
 from repro.parallel.launch import launch_spmd, resolve_transport
-from repro.parallel.migration import pack_planes, unpack_planes
+from repro.parallel.migration import (
+    pack_band,
+    pack_planes,
+    unpack_band,
+    unpack_planes,
+)
 from repro.util.validation import check_integer
 
 #: Load-index hook: (rank, phase, points) -> seconds.
@@ -73,7 +95,11 @@ class ParallelRunResult:
     global x axis — the plane-ownership map after all dynamic remapping,
     carried explicitly so reassembly never has to assume rank order
     equals x order (it does, for chain migration, and
-    :func:`assemble_global_f` verifies it)."""
+    :func:`assemble_global_f` verifies it).  Under a 2-D decomposition
+    ``col_start``/``col_count`` delimit the rank's band of the first
+    cross-section axis (``col_count=None``: the full extent, i.e. a 1-D
+    slab).  ``exposed_wait_s`` is the cumulative time this rank spent
+    blocked in halo waits — communication the compute did not hide."""
 
     rank: int
     plane_start: int
@@ -84,6 +110,9 @@ class ParallelRunResult:
     planes_sent: int
     planes_received: int
     mass: float
+    col_start: int = 0
+    col_count: int | None = None
+    exposed_wait_s: float = 0.0
 
 
 class ParallelLBM:
@@ -93,8 +122,9 @@ class ParallelLBM:
         self,
         comm: Communicator,
         config: LBMConfig,
-        initial_counts: list[int],
+        initial_counts: list[int] | None = None,
         *,
+        topo: CartTopology | None = None,
         policy: str = "filtered",
         remap_config: RemappingConfig | None = None,
         load_time_fn: LoadTimeFn | None = None,
@@ -102,16 +132,45 @@ class ParallelLBM:
         checkpoint_every: int = 0,
         checkpoint_store=None,
         faults=None,
+        halo_overlap: bool = True,
     ):
-        if len(initial_counts) != comm.size:
-            raise ValueError(
-                f"initial_counts must list {comm.size} entries, got "
-                f"{len(initial_counts)}"
+        geo = config.geometry
+        if topo is not None and initial_counts is not None:
+            raise ValueError("pass either topo or initial_counts, not both")
+        if topo is None:
+            counts = (
+                list(initial_counts)
+                if initial_counts is not None
+                else even_split(geo.shape[0], comm.size)
             )
-        if sum(initial_counts) != config.geometry.shape[0]:
-            raise ValueError(
-                "initial plane counts must sum to the global x extent"
-            )
+            if len(counts) != comm.size:
+                raise ValueError(
+                    f"initial_counts must list {comm.size} entries, got "
+                    f"{len(counts)}"
+                )
+            if sum(counts) != geo.shape[0]:
+                raise ValueError(
+                    "initial plane counts must sum to the global x extent"
+                )
+            ny = geo.shape[1] if len(geo.shape) > 1 else 1
+            topo = CartTopology(counts, [ny])
+        else:
+            if topo.size != comm.size:
+                raise ValueError(
+                    f"topology has {topo.size} subdomains for {comm.size} "
+                    f"ranks"
+                )
+            if topo.total_planes != geo.shape[0]:
+                raise ValueError(
+                    "topology row extents must sum to the global x extent"
+                )
+            if topo.cols > 1 and (
+                len(geo.shape) < 2 or topo.total_cols != geo.shape[1]
+            ):
+                raise ValueError(
+                    "topology column extents must sum to the first "
+                    "cross-section extent"
+                )
         if checkpoint_every < 0:
             raise ValueError(
                 f"checkpoint_every must be >= 0, got {checkpoint_every}"
@@ -123,7 +182,13 @@ class ParallelLBM:
         self.policy_name = policy
         self.remap_config = remap_config or RemappingConfig()
         self.load_time_fn = load_time_fn
-        self.decomp = SlabDecomposition(initial_counts)
+        self.topo = topo
+        self.rows = topo.rows
+        self.cols = topo.cols
+        self.row, self.col = topo.coords(comm.rank)
+        self.decomp = SlabDecomposition(
+            [topo.planes(topo.coords(r)[0]) for r in range(comm.size)]
+        )
         #: Checkpointing (see :mod:`repro.ckpt`): a shared store plus the
         #: interval in phases; 0 disables periodic snapshots.
         self.checkpoint_every = checkpoint_every
@@ -131,12 +196,17 @@ class ParallelLBM:
         #: Fault-injection plan (:class:`repro.ckpt.FaultPlan`) shared by
         #: every rank; ``None`` in production.
         self.faults = faults
-        #: Global index of this rank's first interior plane.  Maintained
-        #: incrementally through migrations (the local ``decomp`` only
-        #: tracks our own count, so its ``start`` goes stale) — chain
-        #: migration keeps ranks x-ordered, so left-edge transfers are the
-        #: only thing that moves it.
-        self.plane_start = sum(initial_counts[: comm.rank])
+        #: Overlapped halo schedule (see the module docstring).  Fault
+        #: injection forces the blocking schedule: the ``mid_phase``
+        #: fault point's contract is that no messages are in flight.
+        self._overlap = bool(halo_overlap) and faults is None
+        #: Global indices of this rank's first interior plane/column.
+        #: Maintained incrementally through migrations (the topology
+        #: snapshot is not updated after init) — chain migration keeps
+        #: ranks ordered along each axis, so low-edge transfers are the
+        #: only thing that moves them.
+        self.plane_start = topo.plane_start(self.row)
+        self.col_start = topo.col_start(self.col) if self.cols > 1 else 0
 
         # Rank-scoped observability handle; the shared NULL_OBSERVER when
         # neither an observer nor REPRO_OBS_TRACE is provided.
@@ -146,59 +216,70 @@ class ParallelLBM:
         self.observer = obs
 
         lat = config.lattice
-        geo = config.geometry
         self.cross = geo.shape[1:]
         self.plane_points = int(np.prod(self.cross))
-        self.halo = HaloExchanger(lat, comm, observer=obs)
+        self.halo = HaloExchanger(lat, comm, observer=obs, topo=topo)
         self.history = PhaseTimeHistory(self.remap_config.history)
 
-        # Cross-section patterns (walls are x-invariant: axis 0 is periodic).
-        thin_geo = ChannelGeometry(
-            (1, *self.cross),
-            wall_axes=geo.wall_axes,
-            wall_thickness=geo.wall_thickness,
+        # Geometry/force provider.  x-invariant configurations (the
+        # paper's setup: walls along the cross axes, periodic x) share a
+        # single cross-section pattern, broadcast along x; an x-varying
+        # scenario gets the full global fields, assembled in exactly the
+        # sequential solver's order and sliced (with periodic wrap) to
+        # each rank's current rectangle by ``_local_patterns``.
+        self._x_invariant = (
+            config.scenario is None or config.scenario.x_invariant
         )
-        if config.scenario is not None and not config.scenario.x_invariant:
-            raise ValueError(
-                f"scenario {config.scenario.name!r} varies along the flow "
-                f"axis; the slab-decomposed parallel driver shares one "
-                f"cross-section wall pattern, so only x-invariant scenarios "
-                f"can run on it (use ranks=1 or the batched ensemble path)"
+        src_geo = (
+            ChannelGeometry(
+                (1, *self.cross),
+                wall_axes=geo.wall_axes,
+                wall_thickness=geo.wall_thickness,
             )
-        self._solid_pattern = (
-            config.scenario.solid_mask(thin_geo)
+            if self._x_invariant
+            else geo
+        )
+        self._solid_src = (
+            config.scenario.solid_mask(src_geo)
             if config.scenario is not None
-            else thin_geo.solid_mask()
-        )  # (1, *cross)
-        self._fluid_pattern = ~self._solid_pattern
+            else src_geo.solid_mask()
+        )  # (1, *cross) or the full global shape
         n_comp = config.n_components
-        self._accel = np.zeros(
-            (n_comp, lat.D, 1, *self.cross), dtype=np.float64
+        self._accel_src = np.zeros(
+            (n_comp, lat.D, *src_geo.shape), dtype=np.float64
         )
         if config.wall_force is not None:
             target = config.component_index(config.wall_force.component)
-            self._accel[target] += wall_force_field(thin_geo, config.wall_force)
+            self._accel_src[target] += wall_force_field(
+                src_geo, config.wall_force
+            )
         if config.scenario is not None:
             target = config.component_index(config.scenario.component)
-            self._accel[target] += config.scenario.wall_accel(thin_geo)
+            self._accel_src[target] += config.scenario.wall_accel(src_geo)
         if config.body_acceleration is not None:
-            body = body_force_field(thin_geo, config.body_acceleration)
+            body = body_force_field(src_geo, config.body_acceleration)
             for ci in range(n_comp):
-                self._accel[ci] += body
+                self._accel_src[ci] += body
 
         self.taus = np.array([c.tau for c in config.components])
-        ln = self.decomp.planes(comm.rank)
-        shape = (ln + 2, *self.cross)
+        ln = topo.planes(self.row)
+        if self.cols > 1:
+            lc = topo.cols_of(self.col)
+            shape = (ln + 2, lc + 2, *self.cross[1:])
+        else:
+            shape = (ln + 2, *self.cross)
         self.f = np.zeros((n_comp, lat.Q, *shape), dtype=np.float64)
+        self._alloc_state()
         zero_u = np.zeros((lat.D, *shape), dtype=np.float64)
-        fluid3 = np.broadcast_to(self._fluid_pattern, shape)
+        fluid3 = ~self._solid3
         for ci, comp in enumerate(config.components):
             rho0 = np.where(fluid3, comp.rho_init / comp.mass, 0.0)
             equilibrium(rho0, zero_u, lat, out=self.f[ci])
             self.f[ci, :, 0] = 0.0
             self.f[ci, :, -1] = 0.0
-
-        self._alloc_state()
+            if self.cols > 1:
+                self.f[ci, :, :, 0] = 0.0
+                self.f[ci, :, :, -1] = 0.0
         self.phase = 0
         self.planes_sent = 0
         self.planes_received = 0
@@ -211,9 +292,45 @@ class ParallelLBM:
     def local_planes(self) -> int:
         return self.f.shape[2] - 2
 
+    @property
+    def local_cols(self) -> int:
+        """This rank's extent along the first cross-section axis (the
+        full extent under a 1-D slab)."""
+        if self.cols > 1:
+            return self.f.shape[3] - 2
+        return int(self.cross[0]) if self.cross else 1
+
+    @staticmethod
+    def _wrap_take(
+        arr: np.ndarray, axis: int, start: int, count: int
+    ) -> np.ndarray:
+        """*count* entries of *arr* along *axis* from *start*, wrapping
+        periodically (ghost cells of edge subdomains read the far side)."""
+        idx = np.arange(start, start + count, dtype=np.int64) % arr.shape[axis]
+        return np.take(arr, idx, axis=axis)
+
+    def _local_patterns(
+        self, shape: tuple[int, ...]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The local (ghost-padded) solid mask and acceleration field for
+        this rank's current rectangle: slices of the provider arrays with
+        periodic wrap on every decomposed axis, broadcast along x when
+        the configuration is x-invariant."""
+        solid = self._solid_src
+        accel = self._accel_src
+        if not self._x_invariant:
+            solid = self._wrap_take(solid, 0, self.plane_start - 1, shape[0])
+            accel = self._wrap_take(accel, 2, self.plane_start - 1, shape[0])
+        if self.cols > 1:
+            solid = self._wrap_take(solid, 1, self.col_start - 1, shape[1])
+            accel = self._wrap_take(accel, 3, self.col_start - 1, shape[1])
+        solid3 = np.broadcast_to(solid, shape).copy()
+        return solid3, np.ascontiguousarray(accel)
+
     def _alloc_state(self) -> None:
-        """(Re)allocate the derived fields (and the kernel backend's
-        scratch pool) for the current slab size."""
+        """(Re)allocate the derived fields, the local geometry/force
+        slices and the kernel backend's scratch pool for the current
+        subdomain size."""
         lat = self.config.lattice
         n_comp = self.config.n_components
         shape = self.f.shape[2:]
@@ -221,20 +338,61 @@ class ParallelLBM:
         self.mom = np.zeros((n_comp, lat.D, *shape), dtype=np.float64)
         self.force = np.zeros_like(self.mom)
         self.u_eq = np.zeros_like(self.mom)
+        solid3, self._accel = self._local_patterns(shape)
+        self._solid3 = solid3
         # Interior-only collide mask (ghosts excluded); psi keeps the
-        # cross-section fluid pattern on ghosts (their densities are real
-        # neighbour data needed by the S-C force).
-        fluid3 = np.broadcast_to(self._fluid_pattern, shape).copy()
+        # fluid pattern on ghosts (their densities are real neighbour
+        # data needed by the S-C force).
+        fluid3 = ~solid3
         self._psi_mask = fluid3.astype(np.float64)
         collide_mask = fluid3.copy()
         collide_mask[0] = False
         collide_mask[-1] = False
+        if self.cols > 1:
+            collide_mask[:, 0] = False
+            collide_mask[:, -1] = False
         self._collide_mask = collide_mask.astype(np.float64)
-        self._solid3 = np.broadcast_to(self._solid_pattern, shape).copy()
         # Ranks inherit the backend from the shared config; scratch is
         # sized for the local slab, so rebuild after every migration.
         self.backend = create_backend(
             self.config, shape, self._solid3, observer=self.observer
+        )
+        self._build_pieces(shape)
+
+    def _build_pieces(self, shape: tuple[int, ...]) -> None:
+        """The overlapped schedule's x pieces: one-plane boundary strips
+        (collided first, so their data can travel while the interior
+        computes) and the interior block between them.  Each strip gets
+        its own backend instance — kernel scratch is shape-bound — plus
+        stable views of the derived fields; ``f`` itself is re-sliced at
+        every use because streaming rebinds it."""
+        self._edge_pieces: list[tuple] = []
+        self._mid_piece: tuple | None = None
+        if not self._overlap:
+            return
+        ln = shape[0] - 2
+        edges = [slice(1, 2)]
+        if ln >= 2:
+            edges.append(slice(ln, ln + 1))
+        self._edge_pieces = [self._make_piece(sl, shape) for sl in edges]
+        if ln > 2:
+            self._mid_piece = self._make_piece(slice(2, ln), shape)
+
+    def _make_piece(self, sl: slice, shape: tuple[int, ...]) -> tuple:
+        piece_shape = (sl.stop - sl.start, *shape[1:])
+        backend = create_backend(
+            self.config,
+            piece_shape,
+            np.ascontiguousarray(self._solid3[sl]),
+            observer=self.observer,
+        )
+        return (
+            sl,
+            backend,
+            self._collide_mask[sl],
+            self.rho[:, sl],
+            self.u_eq[:, :, sl],
+            self.mom[:, :, sl],
         )
 
     # -------------------------------------------------------------- physics
@@ -242,6 +400,17 @@ class ParallelLBM:
         self.backend.collide_bgk(
             self.f, self.rho, self.u_eq, self._collide_mask
         )
+
+    def _collide_piece(self, piece: tuple) -> None:
+        sl, backend, mask, rho, u_eq, _ = piece
+        backend.collide_bgk(self.f[:, :, sl], rho, u_eq, mask)
+
+    def _moments_piece(self, piece: tuple) -> None:
+        # Moments have no shape-bound scratch, so the full backend serves
+        # every piece; collision cannot (equilibrium scratch is sized to
+        # the grid), hence the per-piece instances.
+        sl, _, _, rho, _, mom = piece
+        self.backend.moments(self.f[:, :, sl], rho, mom)
 
     def _stream_and_bounce(self) -> None:
         self.f = self.backend.stream(self.f)
@@ -266,6 +435,36 @@ class ParallelLBM:
         """One full phase; returns the load-index sample for this phase."""
         if self.observer.enabled:
             t_compute = self._timed_phase()
+        elif self._overlap:
+            t0 = time.perf_counter()
+            for piece in self._edge_pieces:
+                self._collide_piece(piece)
+            pending_f = self.halo.begin_f(self.f, self.phase)
+            if self._mid_piece is not None:
+                self._collide_piece(self._mid_piece)
+            t_compute = time.perf_counter() - t0
+            self.halo.finish_f(pending_f)
+
+            t1 = time.perf_counter()
+            self._stream_and_bounce()
+            for piece in self._edge_pieces:
+                self._moments_piece(piece)
+            pending_rho = self.halo.begin_scalar(
+                self.rho, self.phase, "halo_rho"
+            )
+            if self._mid_piece is not None:
+                self._moments_piece(self._mid_piece)
+            self.halo.finish_scalar(pending_rho)
+            self.backend.forces_and_velocities(
+                self.rho,
+                self.mom,
+                self.force,
+                self.u_eq,
+                accel=self._accel,
+                psi_mask=self._psi_mask,
+                vel_mask=self._collide_mask,
+            )
+            t_compute += time.perf_counter() - t1
         else:
             t0 = time.perf_counter()
             self._collide()
@@ -300,9 +499,62 @@ class ParallelLBM:
         """The same phase sequence with per-segment timings and halo byte
         deltas emitted as one ``phase`` trace event.  Returns the compute
         time with exactly the untraced composition (halo-f wait excluded,
-        density-halo wait included, matching the load-index semantics)."""
+        density-halo wait included, matching the load-index semantics).
+
+        Under the overlapped schedule the event additionally carries
+        ``t_halo_wait`` — the exposed communication time, i.e. seconds
+        this phase actually blocked in halo waits after the interior
+        compute was used to hide the transfers."""
         halo = self.halo
         bf0, bs0 = halo.bytes_f, halo.bytes_scalar
+        if self._overlap:
+            wf0 = halo.wait_f_seconds
+            ws0 = halo.wait_scalar_seconds
+            t0 = time.perf_counter()
+            for piece in self._edge_pieces:
+                self._collide_piece(piece)
+            pending_f = halo.begin_f(self.f, self.phase)
+            if self._mid_piece is not None:
+                self._collide_piece(self._mid_piece)
+            t1 = time.perf_counter()
+            halo.finish_f(pending_f)
+            t2 = time.perf_counter()
+            self._stream_and_bounce()
+            t3 = time.perf_counter()
+            for piece in self._edge_pieces:
+                self._moments_piece(piece)
+            pending_rho = halo.begin_scalar(self.rho, self.phase, "halo_rho")
+            if self._mid_piece is not None:
+                self._moments_piece(self._mid_piece)
+            t4 = time.perf_counter()
+            halo.finish_scalar(pending_rho)
+            t5 = time.perf_counter()
+            self.backend.forces_and_velocities(
+                self.rho,
+                self.mom,
+                self.force,
+                self.u_eq,
+                accel=self._accel,
+                psi_mask=self._psi_mask,
+                vel_mask=self._collide_mask,
+            )
+            t6 = time.perf_counter()
+            self.observer.emit(
+                "phase",
+                phase=self.phase,
+                planes=self.local_planes,
+                t_collide=t1 - t0,
+                t_halo_f=t2 - t1,
+                t_stream_bounce=t3 - t2,
+                t_moments=(t4 - t3) + (t6 - t5),
+                t_halo_rho=t5 - t4,
+                t_total=t6 - t0,
+                t_halo_wait=(halo.wait_f_seconds - wf0)
+                + (halo.wait_scalar_seconds - ws0),
+                halo_f_bytes=halo.bytes_f - bf0,
+                halo_rho_bytes=halo.bytes_scalar - bs0,
+            )
+            return (t1 - t0) + (t6 - t2)
         t0 = time.perf_counter()
         self._collide()
         t1 = time.perf_counter()
@@ -342,11 +594,18 @@ class ParallelLBM:
         )
         return (t1 - t0) + (t6 - t2)
 
+    def _interior_view(self) -> np.ndarray:
+        """This rank's ghost-free populations (both padded axes stripped
+        under a 2-D decomposition)."""
+        if self.cols > 1:
+            return self.f[:, :, 1:-1, 1:-1]
+        return self.f[:, :, 1:-1]
+
     def _interior_invariants(self) -> tuple[list[float], list[list[float]]]:
         """Per-component interior mass and momentum — the conserved
         quantities migration must not create or destroy (trace payload
         for ``remap_begin``/``remap_end`` events)."""
-        interior = self.f[:, :, 1:-1]
+        interior = self._interior_view()
         c_count, q_count = interior.shape[0], interior.shape[1]
         per_q = interior.reshape(c_count, q_count, -1).sum(axis=2)  # (C, Q)
         masses = [comp.mass for comp in self.config.components]
@@ -393,7 +652,9 @@ class ParallelLBM:
         traced = self.observer.enabled
         if traced:
             self._emit_remap_state("remap_begin", self.phase)
-        if self.policy_name == "global":
+        if self.cols > 1:
+            self._remap_cart()
+        elif self.policy_name == "global":
             self._remap_global()
         else:
             self._remap_local()
@@ -510,8 +771,10 @@ class ParallelLBM:
             package = None
             if out_left > 0:
                 package, self.f = pack_planes(self.f, "left", out_left)
-                self._after_resize(-out_left)
+                # Bookkeeping before reallocation: _alloc_state slices the
+                # geometry provider by the *new* plane_start.
                 self.plane_start += out_left
+                self._after_resize(-out_left)
                 self.planes_sent += out_left
                 if traced:
                     self._emit_migrate(rnd, "send", "left", package)
@@ -529,8 +792,8 @@ class ParallelLBM:
             package = comm.recv(left, ("migrate", rnd, "R"))
             if package is not None:
                 self.f = unpack_planes(self.f, package, "left")
-                self._after_resize(package.shape[2])
                 self.plane_start -= package.shape[2]
+                self._after_resize(package.shape[2])
                 self.planes_received += package.shape[2]
                 if traced:
                     self._emit_migrate(rnd, "recv", "left", package)
@@ -580,15 +843,15 @@ class ParallelLBM:
             if flow > 0:  # receiving from the left
                 package = comm.recv(rank - 1, ("migrate", rnd, "R"))
                 self.f = unpack_planes(self.f, package, "left")
-                self._after_resize(package.shape[2])
                 self.plane_start -= package.shape[2]
+                self._after_resize(package.shape[2])
                 self.planes_received += package.shape[2]
                 if traced:
                     self._emit_migrate(rnd, "recv", "left", package)
             elif flow < 0:  # sending leftward
                 package, self.f = pack_planes(self.f, "left", -flow)
-                self._after_resize(flow)
                 self.plane_start += -flow
+                self._after_resize(flow)
                 self.planes_sent += -flow
                 comm.send(rank - 1, ("migrate", rnd, "L"), package)
                 if traced:
@@ -611,6 +874,133 @@ class ParallelLBM:
                     self._emit_migrate(rnd, "recv", "right", package)
         self._moments_and_forces(("post_remap", rnd))
 
+    def _remap_cart(self) -> None:
+        """Remapping on a 2-D grid: one allgather of every subdomain's
+        load index, from which *all* ranks derive identical per-axis
+        chain flows — rows rebalance x planes, columns rebalance
+        cross-section bands — then bands move pairwise along each axis
+        (rows exchange with the vertical neighbour in the same column
+        and vice versa, so the grid stays cartesian by construction)."""
+        comm = self.comm
+        rnd = self.phase
+        rows, cols = self.rows, self.cols
+        my_time = self._predicted_time()
+        gathered = comm.allgather(
+            (
+                self.row,
+                self.col,
+                self.local_planes,
+                self.local_cols,
+                my_time,
+            ),
+            ("remap_cart", rnd),
+        )
+        row_planes = [0] * rows
+        col_bands = [0] * cols
+        row_times: list[list[float]] = [[] for _ in range(rows)]
+        col_times: list[list[float]] = [[] for _ in range(cols)]
+        for r, c, planes, bands, t in gathered:
+            row_planes[r] = planes
+            col_bands[c] = bands
+            row_times[r].append(t)
+            col_times[c].append(t)
+        rest_points = int(np.prod(self.cross[1:])) if len(self.cross) > 1 else 1
+        flows_r = _chain_flows(
+            row_planes,
+            [float(np.mean(ts)) for ts in row_times],
+            int(self.cross[0]) * rest_points,
+            self.policy_name,
+            self.remap_config,
+        )
+        flows_c = _chain_flows(
+            col_bands,
+            [float(np.mean(ts)) for ts in col_times],
+            int(self.config.geometry.shape[0]) * rest_points,
+            self.policy_name,
+            self.remap_config,
+        )
+        traced = self.observer.enabled
+        if traced:
+            self.observer.emit(
+                "remap_decision",
+                round=rnd,
+                policy=self.policy_name,
+                load_index=float(my_time),
+                points=self.local_planes * self.local_cols * rest_points,
+                row_flows=[int(x) for x in flows_r],
+                col_flows=[int(x) for x in flows_c],
+            )
+        topo = self.topo
+        row, col = self.row, self.col
+        # Row axis: x planes move between vertically adjacent rows (low
+        # edge first, matching the 1-D chain protocol's ordering).
+        if row > 0:
+            flow = int(flows_r[row - 1])
+            peer = topo.rank_of(row - 1, col)
+            if flow > 0:  # receiving planes from the row above
+                package = comm.recv(peer, ("migrate", rnd, "R"))
+                self.f = unpack_band(self.f, package, 2, "low")
+                self.plane_start -= package.shape[2]
+                self.planes_received += package.shape[2]
+                if traced:
+                    self._emit_migrate(rnd, "recv", "left", package)
+            elif flow < 0:  # sending planes upward
+                package, self.f = pack_band(self.f, 2, "low", -flow)
+                self.plane_start += -flow
+                self.planes_sent += -flow
+                comm.send(peer, ("migrate", rnd, "L"), package)
+                if traced:
+                    self._emit_migrate(rnd, "send", "left", package)
+        if row < rows - 1:
+            flow = int(flows_r[row])
+            peer = topo.rank_of(row + 1, col)
+            if flow > 0:  # sending planes downward
+                package, self.f = pack_band(self.f, 2, "high", flow)
+                self.planes_sent += flow
+                comm.send(peer, ("migrate", rnd, "R"), package)
+                if traced:
+                    self._emit_migrate(rnd, "send", "right", package)
+            elif flow < 0:
+                package = comm.recv(peer, ("migrate", rnd, "L"))
+                self.f = unpack_band(self.f, package, 2, "high")
+                self.planes_received += package.shape[2]
+                if traced:
+                    self._emit_migrate(rnd, "recv", "right", package)
+        # Column axis: cross-section bands move between horizontally
+        # adjacent columns.
+        if col > 0:
+            flow = int(flows_c[col - 1])
+            peer = topo.rank_of(row, col - 1)
+            if flow > 0:
+                package = comm.recv(peer, ("migrate", rnd, "U"))
+                self.f = unpack_band(self.f, package, 3, "low")
+                self.col_start -= package.shape[3]
+                if traced:
+                    self._emit_migrate(rnd, "recv", "down", package)
+            elif flow < 0:
+                package, self.f = pack_band(self.f, 3, "low", -flow)
+                self.col_start += -flow
+                comm.send(peer, ("migrate", rnd, "D"), package)
+                if traced:
+                    self._emit_migrate(rnd, "send", "down", package)
+        if col < cols - 1:
+            flow = int(flows_c[col])
+            peer = topo.rank_of(row, col + 1)
+            if flow > 0:
+                package, self.f = pack_band(self.f, 3, "high", flow)
+                comm.send(peer, ("migrate", rnd, "U"), package)
+                if traced:
+                    self._emit_migrate(rnd, "send", "up", package)
+            elif flow < 0:
+                package = comm.recv(peer, ("migrate", rnd, "D"))
+                self.f = unpack_band(self.f, package, 3, "high")
+                if traced:
+                    self._emit_migrate(rnd, "recv", "up", package)
+        # One reallocation after both axes settle (the 1-D paths realloc
+        # per transfer; here a rank can take part in up to four).
+        self._alloc_state()
+        self._moments_and_forces(("post_remap", rnd))
+
     def _after_resize(self, delta: int) -> None:
         self.decomp.adjust(self.comm.rank, delta)
         self._alloc_state()
@@ -621,7 +1011,7 @@ class ParallelLBM:
         non-finite or too fast — the gate in front of every checkpoint
         write (a snapshot of a diverged state is worse than none)."""
         rank = self.comm.rank
-        if not np.isfinite(self.f[:, :, 1:-1]).all():
+        if not np.isfinite(self._interior_view()).all():
             raise FloatingPointError(
                 f"rank {rank}: non-finite populations at phase {self.phase}"
             )
@@ -636,7 +1026,7 @@ class ParallelLBM:
 
     def _shard_arrays(self) -> dict[str, np.ndarray]:
         return {
-            "f": np.ascontiguousarray(self.f[:, :, 1:-1]),
+            "f": np.ascontiguousarray(self._interior_view()),
             "step": np.asarray(self.phase, dtype=np.int64),
             "planes_sent": np.asarray(self.planes_sent, dtype=np.int64),
             "planes_received": np.asarray(
@@ -676,6 +1066,8 @@ class ParallelLBM:
                 self._shard_arrays(),
                 plane_start=self.plane_start,
                 plane_count=self.local_planes,
+                col_start=self.col_start,
+                col_count=self.local_cols if self.cols > 1 else None,
             )
             infos = comm.allgather(shard.to_json(), ("ckpt_shards", step))
             if comm.rank == 0:
@@ -686,35 +1078,82 @@ class ParallelLBM:
                 )
 
     def _adopt_interior(
-        self, f_interior: np.ndarray, plane_start: int, tag: object
+        self,
+        f_interior: np.ndarray,
+        plane_start: int,
+        tag: object,
+        col_start: int = 0,
     ) -> None:
-        """Replace this rank's slab with *f_interior* (no ghosts) starting
-        at global plane *plane_start*, then refresh all derived state —
-        the same sequence a migration uses, so the next phase continues
+        """Replace this rank's subdomain with *f_interior* (no ghosts)
+        starting at global plane *plane_start* (and, under 2-D, global
+        column *col_start*), then refresh all derived state — the same
+        sequence a migration uses, so the next phase continues
         bit-identically."""
         ln = int(f_interior.shape[2])
-        new_f = np.zeros(
-            f_interior.shape[:2] + (ln + 2, *self.cross), dtype=np.float64
-        )
-        new_f[:, :, 1:-1] = f_interior
+        if self.cols > 1:
+            lc = int(f_interior.shape[3])
+            new_f = np.zeros(
+                f_interior.shape[:2] + (ln + 2, lc + 2, *self.cross[1:]),
+                dtype=np.float64,
+            )
+            new_f[:, :, 1:-1, 1:-1] = f_interior
+        else:
+            new_f = np.zeros(
+                f_interior.shape[:2] + (ln + 2, *self.cross),
+                dtype=np.float64,
+            )
+            new_f[:, :, 1:-1] = f_interior
         delta = ln - self.local_planes
         self.f = new_f
         if delta:
             self.decomp.adjust(self.comm.rank, delta)
-        self._alloc_state()
         self.plane_start = int(plane_start)
+        self.col_start = int(col_start)
+        self._alloc_state()
         self._moments_and_forces(tag)
+
+    def _grid_shard(
+        self, manifest: Manifest, shards: tuple[ShardInfo, ...]
+    ) -> ShardInfo | None:
+        """This rank's shard when the generation's rectangles form
+        exactly this run's ``rows × cols`` grid (the 2-D fast path:
+        every rank re-adopts its own rectangle); ``None`` sends the
+        restore down the reassemble-and-resplit path."""
+        if len(shards) != self.comm.size:
+            return None
+        bands: dict[tuple[int, int], list[ShardInfo]] = {}
+        for shard in shards:
+            if shard.col_count is None:
+                return None
+            bands.setdefault(
+                (shard.plane_start, shard.plane_count), []
+            ).append(shard)
+        if len(bands) != self.rows:
+            return None
+        layouts = {
+            tuple((s.col_start, s.col_count) for s in members)
+            for members in bands.values()
+        }
+        if len(layouts) != 1 or len(next(iter(layouts))) != self.cols:
+            return None
+        # shards_in_x_order sorts by (plane_start, col_start) — exactly
+        # the grid's row-major rank order.
+        return shards[self.comm.rank]
 
     def restore_checkpoint(self, manifest: Manifest | None = None) -> Manifest:
         """Collective restore from the store's latest good generation (or
         an explicit *manifest*).
 
-        When the generation has one shard per rank, each rank reloads its
-        own shard — plane ownership, remap history and counters resume
-        exactly where they were.  With a different rank count the global
-        field is reassembled from the x-ordered shards and re-split
-        evenly; the physics is unchanged (decomposition invariance), only
-        the remapping bookkeeping restarts.
+        When the generation's ownership map matches this run's
+        decomposition — one shard per rank under a 1-D slab, or a
+        rectangle grid congruent with this run's ``rows × cols`` — each
+        rank reloads its own shard: ownership, remap history and
+        counters resume exactly where they were.  Otherwise (different
+        rank count, or crossing between 1-D and 2-D layouts in either
+        direction) the global field is reassembled from the shard
+        rectangles and re-split evenly over the current decomposition;
+        the physics is unchanged (decomposition invariance), only the
+        remapping bookkeeping restarts.
         """
         store = self.checkpoint_store
         if store is None:
@@ -729,13 +1168,22 @@ class ParallelLBM:
         comm = self.comm
         shards = manifest.shards_in_x_order()
         with self.observer.span("ckpt.restore", step=manifest.step):
-            if len(shards) == comm.size:
-                shard = shards[comm.rank]
-                arrays = store.load_shard_arrays(manifest, shard)
+            if self.cols > 1:
+                mine = self._grid_shard(manifest, shards)
+            elif (
+                len(shards) == comm.size
+                and not manifest.is_two_dimensional()
+            ):
+                mine = shards[comm.rank]
+            else:
+                mine = None
+            if mine is not None:
+                arrays = store.load_shard_arrays(manifest, mine)
                 self._adopt_interior(
                     arrays["f"],
-                    shard.plane_start,
+                    mine.plane_start,
                     ("restore", manifest.step),
+                    col_start=mine.col_start,
                 )
                 self.planes_sent = int(arrays["planes_sent"])
                 self.planes_received = int(arrays["planes_received"])
@@ -747,21 +1195,39 @@ class ParallelLBM:
                     self.history.record(float(sample))
             else:
                 f_global = store.load_global_f(manifest)
-                base, extra = divmod(f_global.shape[2], comm.size)
-                if base < 1:
-                    raise CheckpointError(
-                        f"checkpoint has {f_global.shape[2]} planes, too few "
-                        f"for {comm.size} ranks"
+                if self.cols > 1:
+                    row_counts = even_split(f_global.shape[2], self.rows)
+                    col_counts = even_split(f_global.shape[3], self.cols)
+                    start = sum(row_counts[: self.row])
+                    cstart = sum(col_counts[: self.col])
+                    self._adopt_interior(
+                        f_global[
+                            :,
+                            :,
+                            start : start + row_counts[self.row],
+                            cstart : cstart + col_counts[self.col],
+                        ],
+                        start,
+                        ("restore", manifest.step),
+                        col_start=cstart,
                     )
-                counts = [
-                    base + (1 if r < extra else 0) for r in range(comm.size)
-                ]
-                start = sum(counts[: comm.rank])
-                self._adopt_interior(
-                    f_global[:, :, start : start + counts[comm.rank]],
-                    start,
-                    ("restore", manifest.step),
-                )
+                else:
+                    base, extra = divmod(f_global.shape[2], comm.size)
+                    if base < 1:
+                        raise CheckpointError(
+                            f"checkpoint has {f_global.shape[2]} planes, "
+                            f"too few for {comm.size} ranks"
+                        )
+                    counts = [
+                        base + (1 if r < extra else 0)
+                        for r in range(comm.size)
+                    ]
+                    start = sum(counts[: comm.rank])
+                    self._adopt_interior(
+                        f_global[:, :, start : start + counts[comm.rank]],
+                        start,
+                        ("restore", manifest.step),
+                    )
                 self.planes_sent = 0
                 self.planes_received = 0
                 self.plane_history = [self.local_planes]
@@ -786,7 +1252,8 @@ class ParallelLBM:
                 and self.phase % self.checkpoint_every == 0
             ):
                 self._write_checkpoint()
-        interior = np.ascontiguousarray(self.f[:, :, 1:-1])
+        interior = np.ascontiguousarray(self._interior_view())
+        exposed = self.halo.wait_f_seconds + self.halo.wait_scalar_seconds
         if self.observer.enabled:
             self.observer.emit(
                 "run_end",
@@ -796,6 +1263,7 @@ class ParallelLBM:
                 planes_received=self.planes_received,
                 halo_f_bytes=self.halo.bytes_f,
                 halo_rho_bytes=self.halo.bytes_scalar,
+                exposed_wait_s=exposed,
             )
         return ParallelRunResult(
             rank=self.comm.rank,
@@ -812,7 +1280,92 @@ class ParallelLBM:
                     for ci, comp in enumerate(self.config.components)
                 )
             ),
+            col_start=self.col_start,
+            col_count=self.local_cols if self.cols > 1 else None,
+            exposed_wait_s=exposed,
         )
+
+
+def _chain_flows(
+    counts: list[int],
+    times: list[float],
+    band_points: int,
+    policy: str,
+    remap_config: RemappingConfig,
+) -> list[int]:
+    """Edge flows for one decomposition axis: ``flows[e]`` bands move
+    from band *e* to band *e+1* (negative: the other way).  Every rank
+    evaluates this on the same allgathered data, so the decisions agree
+    without further communication.  ``"global"`` delegates to
+    :class:`~repro.core.policies.GlobalPolicy`; the windowed policies
+    replicate the distributed chain protocol — per-neighbour
+    ``window_proposal``, per-edge netting, per-band outflow clamp — in
+    one deterministic sweep."""
+    n = len(counts)
+    if n <= 1:
+        return []
+    times_arr = np.asarray(times, dtype=np.float64)
+    if policy == "global":
+        partition = SlicePartition(list(counts), band_points)
+        decided = GlobalPolicy(remap_config).decide(partition, times_arr)
+        return [int(x) for x in decided]
+    pts = np.asarray(counts, dtype=np.float64) * band_points
+    speeds = pts / times_arr
+    threshold = remap_config.threshold_points_for(band_points)
+    filtered = policy == "filtered"
+    give_left = [0.0] * n
+    give_right = [0.0] * n
+    for i in range(n):
+        lo = max(0, i - 1)
+        hi = min(n, i + 2)
+        my_idx = i - lo
+        if i > 0:
+            give_left[i] = window_proposal(
+                pts[lo:hi],
+                speeds[lo:hi],
+                my_idx,
+                my_idx - 1,
+                remap_config,
+                threshold,
+                filtered=filtered,
+            )
+        if i < n - 1:
+            give_right[i] = window_proposal(
+                pts[lo:hi],
+                speeds[lo:hi],
+                my_idx,
+                my_idx + 1,
+                remap_config,
+                threshold,
+                filtered=filtered,
+            )
+    flows = [0] * (n - 1)
+    for e in range(n - 1):
+        net = give_right[e] - give_left[e + 1]
+        if net > 0:
+            flows[e] = int(net // band_points)
+        elif net < 0:
+            flows[e] = -int((-net) // band_points)
+    # Per-band outflow clamp (at least one band must remain), computed
+    # from the pre-clamp flows exactly as each rank of the distributed
+    # protocol clamps its own outflows from the original nets.
+    orig = list(flows)
+    for i in range(n):
+        out_left = -orig[i - 1] if i > 0 and orig[i - 1] < 0 else 0
+        out_right = orig[i] if i < n - 1 and orig[i] > 0 else 0
+        max_out = counts[i] - 1
+        total_out = out_left + out_right
+        if total_out > max_out:
+            need = total_out - max_out
+            cut_right = min(
+                out_right, -(-need * out_right // max(total_out, 1))
+            )
+            cut_left = min(out_left, need - cut_right)
+            if cut_right:
+                flows[i] -= cut_right
+            if cut_left:
+                flows[i - 1] += cut_left
+    return flows
 
 
 def _spec_observer(spec: Any) -> tuple[ObserverLike, bool]:
@@ -836,6 +1389,31 @@ def _slot_bytes_for(config: LBMConfig) -> int:
     return min(max(plane_bytes, 1 << 12), 1 << 26)
 
 
+def resolve_decomp(
+    decomp: Any, shape: tuple[int, ...], n_ranks: int
+) -> tuple[int, int]:
+    """Resolve a RunSpec ``decomp`` knob to concrete ``(rows, cols)``
+    grid dimensions: ``"auto"``/``"slab"`` keep the 1-D slab,
+    ``"grid"`` picks the most-square factorization that fits the
+    domain, an explicit tuple is validated against the rank count."""
+    if isinstance(decomp, str):
+        if decomp == "grid":
+            return grid_for(n_ranks, shape)
+        if decomp in ("auto", "slab"):
+            return (n_ranks, 1)
+        raise ValueError(
+            f"decomp must be 'auto', 'slab', 'grid' or a (rows, cols) "
+            f"tuple, got {decomp!r}"
+        )
+    rows, cols = int(decomp[0]), int(decomp[1])
+    if rows * cols != n_ranks:
+        raise ValueError(
+            f"decomp {rows}x{cols} describes {rows * cols} subdomains "
+            f"for {n_ranks} ranks"
+        )
+    return rows, cols
+
+
 def _run_parallel(spec: Any, config: LBMConfig, store: Any) -> list[ParallelRunResult]:
     """Execute a parallel RunSpec (the engine behind
     :func:`repro.api.run`; *config* is the spec's backend-resolved
@@ -844,6 +1422,19 @@ def _run_parallel(spec: Any, config: LBMConfig, store: Any) -> list[ParallelRunR
     phases = spec.phases
     total_planes = config.geometry.shape[0]
     transport = resolve_transport(spec.transport)
+    rows, cols = resolve_decomp(
+        getattr(spec, "decomp", "auto"), config.geometry.shape, n_ranks
+    )
+    if cols > 1 and spec.initial_counts is not None:
+        raise ValueError(
+            "initial_counts is a 1-D slab knob and cannot seed a "
+            f"{rows}x{cols} grid; drop it or use decomp=({n_ranks}, 1)"
+        )
+    topo = (
+        CartTopology.from_shape(config.geometry.shape, rows, cols)
+        if cols > 1
+        else None
+    )
 
     initial_counts = (
         list(spec.initial_counts) if spec.initial_counts is not None else None
@@ -858,12 +1449,17 @@ def _run_parallel(spec: Any, config: LBMConfig, store: Any) -> list[ParallelRunR
             check_fingerprint(resume_manifest, config)
             phases_to_run = max(0, phases - resume_manifest.step)
             shards = resume_manifest.shards_in_x_order()
-            if len(shards) == n_ranks and initial_counts is None:
+            if (
+                cols == 1
+                and len(shards) == n_ranks
+                and initial_counts is None
+                and not resume_manifest.is_two_dimensional()
+            ):
                 # Start each rank at its checkpointed slab size so the
                 # per-shard restore path needs no reallocation.
                 initial_counts = [s.plane_count for s in shards]
 
-    if initial_counts is None:
+    if cols == 1 and initial_counts is None:
         base, extra = divmod(total_planes, n_ranks)
         if base < 1:
             raise ValueError("more ranks than planes")
@@ -880,7 +1476,12 @@ def _run_parallel(spec: Any, config: LBMConfig, store: Any) -> list[ParallelRunR
             shape=list(config.geometry.shape),
             n_components=config.n_components,
             phases=phases,
-            initial_counts=list(initial_counts),
+            initial_counts=(
+                list(initial_counts)
+                if initial_counts is not None
+                else [int(x) for x in topo.row_counts()]
+            ),
+            decomp=[rows, cols],
         )
 
     # Rank processes cannot share the parent's sink object, so under the
@@ -900,7 +1501,8 @@ def _run_parallel(spec: Any, config: LBMConfig, store: Any) -> list[ParallelRunR
         driver = ParallelLBM(
             comm,
             config,
-            list(initial_counts),
+            list(initial_counts) if topo is None else None,
+            topo=topo,
             policy=spec.policy,
             remap_config=spec.remap_config,
             load_time_fn=spec.load_time_fn,
@@ -908,6 +1510,7 @@ def _run_parallel(spec: Any, config: LBMConfig, store: Any) -> list[ParallelRunR
             checkpoint_every=spec.checkpoint_every,
             checkpoint_store=store,
             faults=spec.faults,
+            halo_overlap=getattr(spec, "halo_overlap", True),
         )
         if resume_manifest is not None:
             driver.restore_checkpoint(manifest=resume_manifest)
@@ -955,6 +1558,7 @@ def run_parallel_lbm(
     remap_config: RemappingConfig | None = None,
     load_time_fn: LoadTimeFn | None = None,
     initial_counts: list[int] | None = None,
+    decomp: str | tuple[int, int] = "auto",
     timeout: float = 600.0,
     observer: ObserverLike = NULL_OBSERVER,
     trace_path: str | None = None,
@@ -1011,6 +1615,7 @@ def run_parallel_lbm(
         initial_counts=(
             tuple(initial_counts) if initial_counts is not None else None
         ),
+        decomp=decomp,
         timeout=timeout,
         observer=observer,
         trace_path=trace_path,
@@ -1027,24 +1632,68 @@ def run_parallel_lbm(
 
 
 def assemble_global_f(results: list[ParallelRunResult]) -> np.ndarray:
-    """Concatenate per-rank interiors back into the global population
-    array ``(C, Q, nx, *cross)``, ordered by each rank's final
-    ``plane_start`` and verified to tile the x axis exactly."""
-    ordered = sorted(results, key=lambda r: r.plane_start)
-    expect = 0
+    """Reassemble per-rank interiors into the global population array
+    ``(C, Q, nx, *cross)`` from each rank's final ownership rectangle:
+    a 1-D slab run concatenates x bands (verified to tile the x axis
+    exactly), a 2-D run places rectangles (verified to tile the
+    ``nx × ny`` domain exactly)."""
+    if all(r.col_count is None for r in results):
+        ordered = sorted(results, key=lambda r: r.plane_start)
+        expect = 0
+        for r in ordered:
+            if r.plane_start != expect:
+                raise ValueError(
+                    f"rank {r.rank} starts at plane {r.plane_start}, "
+                    f"expected {expect}: the ownership map does not tile "
+                    f"the x axis"
+                )
+            if r.plane_count != r.f_interior.shape[2]:
+                raise ValueError(
+                    f"rank {r.rank} reports {r.plane_count} planes but "
+                    f"carries {r.f_interior.shape[2]}"
+                )
+            expect += r.plane_count
+        return np.concatenate([r.f_interior for r in ordered], axis=2)
+    if any(r.col_count is None for r in results):
+        raise ValueError(
+            "cannot assemble a mix of 1-D slab and 2-D rectangle results"
+        )
+    ordered = sorted(results, key=lambda r: (r.plane_start, r.col_start))
+    nx = max(r.plane_start + r.plane_count for r in ordered)
+    ny = max(r.col_start + r.col_count for r in ordered)
+    first = ordered[0].f_interior
+    out = np.zeros(
+        first.shape[:2] + (nx, ny) + first.shape[4:], dtype=first.dtype
+    )
+    seen = np.zeros((nx, ny), dtype=bool)
     for r in ordered:
-        if r.plane_start != expect:
+        if r.f_interior.shape[2:4] != (r.plane_count, r.col_count):
             raise ValueError(
-                f"rank {r.rank} starts at plane {r.plane_start}, expected "
-                f"{expect}: the ownership map does not tile the x axis"
+                f"rank {r.rank} reports a {r.plane_count}x{r.col_count} "
+                f"rectangle but carries {r.f_interior.shape[2:4]}"
             )
-        if r.plane_count != r.f_interior.shape[2]:
+        block = seen[
+            r.plane_start : r.plane_start + r.plane_count,
+            r.col_start : r.col_start + r.col_count,
+        ]
+        if block.any():
             raise ValueError(
-                f"rank {r.rank} reports {r.plane_count} planes but carries "
-                f"{r.f_interior.shape[2]}"
+                f"rank {r.rank}'s rectangle overlaps another rank's: the "
+                f"ownership map does not tile the domain"
             )
-        expect += r.plane_count
-    return np.concatenate([r.f_interior for r in ordered], axis=2)
+        block[:] = True
+        out[
+            :,
+            :,
+            r.plane_start : r.plane_start + r.plane_count,
+            r.col_start : r.col_start + r.col_count,
+        ] = r.f_interior
+    if not seen.all():
+        raise ValueError(
+            "ownership rectangles leave gaps: the map does not tile the "
+            "domain"
+        )
+    return out
 
 
 def solver_from_results(

@@ -73,3 +73,78 @@ def _pad_with_ghosts(interior: np.ndarray) -> np.ndarray:
     padded = np.zeros(shape, dtype=interior.dtype)
     padded[:, :, 1:-1] = interior
     return padded
+
+
+# --------------------------------------------------------------------- 2-D
+# The 2-D driver pads both decomposed axes (x planes *and* y columns), so
+# its migration helpers take/attach bands along either axis of a doubly
+# padded array.  ``pack_planes``/``unpack_planes`` above stay exactly as
+# the 1-D chain-migration protocol uses them.
+
+
+def pack_band(
+    f: np.ndarray, axis: int, side: str, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split *k* interior bands off one side of a doubly padded subdomain.
+
+    *f* has shape ``(C, Q, ln+2, lc+2, *rest)`` with ghost cells at index
+    0 and -1 of both spatial axes; *axis* is 2 (x planes) or 3 (y
+    columns).  Returns ``(package, remainder)`` like :func:`pack_planes`
+    — the package carries interior data only (no ghosts on either axis),
+    the remainder is re-padded with zeroed ghosts all round.
+    """
+    _check_band_args(axis, side)
+    interior = f[:, :, 1:-1, 1:-1]
+    n = interior.shape[axis]
+    if not 1 <= k <= n - 1:
+        raise ValueError(
+            f"cannot extract {k} of {n} interior bands along axis {axis}"
+        )
+    take_lo = [slice(None)] * interior.ndim
+    keep_lo = [slice(None)] * interior.ndim
+    if side == "low":
+        take_lo[axis] = slice(0, k)
+        keep_lo[axis] = slice(k, None)
+    else:
+        take_lo[axis] = slice(n - k, None)
+        keep_lo[axis] = slice(0, n - k)
+    package = np.ascontiguousarray(interior[tuple(take_lo)])
+    remainder = _pad_both_axes(interior[tuple(keep_lo)])
+    return package, remainder
+
+
+def unpack_band(f: np.ndarray, package: np.ndarray, axis: int, side: str) -> np.ndarray:
+    """Attach received bands to one side of a doubly padded subdomain;
+    returns a new padded array (all ghosts zeroed, refilled at the next
+    halo exchange)."""
+    _check_band_args(axis, side)
+    interior = f[:, :, 1:-1, 1:-1]
+    expect = list(interior.shape)
+    expect[axis] = package.shape[axis]
+    if list(package.shape) != expect:
+        raise ValueError(
+            f"package shape {package.shape} incompatible with subdomain "
+            f"{interior.shape} along axis {axis}"
+        )
+    if side == "low":
+        merged = np.concatenate([package, interior], axis=axis)
+    else:
+        merged = np.concatenate([interior, package], axis=axis)
+    return _pad_both_axes(merged)
+
+
+def _check_band_args(axis: int, side: str) -> None:
+    if axis not in (2, 3):
+        raise ValueError(f"axis must be 2 (planes) or 3 (columns), got {axis}")
+    if side not in ("low", "high"):
+        raise ValueError(f"side must be 'low' or 'high', got {side!r}")
+
+
+def _pad_both_axes(interior: np.ndarray) -> np.ndarray:
+    """Wrap an interior block with zeroed ghosts on both spatial axes."""
+    shape = list(interior.shape)
+    shape[2] += 2
+    shape[3] += 2
+    padded = np.zeros(shape, dtype=interior.dtype)
+    padded[:, :, 1:-1, 1:-1] = interior
+    return padded

@@ -45,7 +45,12 @@ from typing import Any, Hashable
 
 import numpy as np
 
-from repro.parallel.api import Communicator, CommunicatorTimeout
+from repro.parallel.api import (
+    DEFAULT_RECV_TIMEOUT,
+    Communicator,
+    CommunicatorTimeout,
+    Request,
+)
 from repro.util.validation import check_integer
 
 #: Default byte size of one shared-memory ring slot.  Launchers that
@@ -199,7 +204,10 @@ class ProcessCommunicator(Communicator):
             raise ValueError("self-messaging is not part of the protocol")
 
     # ---------------------------------------------------------------- send
-    def send(self, dest: int, tag: Hashable, payload: Any) -> None:
+    def isend(self, dest: int, tag: Hashable, payload: Any) -> Request:
+        # Headers and ring chunks are pushed synchronously — bounded only
+        # by ring back-pressure, never by the receiver's recv posting —
+        # so the send is buffered and the request completes eagerly.
         self._check_peer(dest)
         link = self._world.link(self._rank, dest)
         if isinstance(payload, np.ndarray):
@@ -208,19 +216,29 @@ class ProcessCommunicator(Communicator):
                 (_KIND_ARRAY, tag, data.shape, data.dtype.str, data.nbytes)
             )
             link.push_bytes(memoryview(data).cast("B"))
-            return
+            return Request.completed()
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         if len(blob) <= PIPE_PAYLOAD_LIMIT:
             link.send_conn.send((_KIND_INLINE, tag, blob))
         else:
             link.send_conn.send((_KIND_PICKLE, tag, len(blob)))
             link.push_bytes(memoryview(blob))
+        return Request.completed()
 
     # ---------------------------------------------------------------- recv
-    def recv(
-        self, source: int, tag: Hashable, timeout: float | None = 60.0
-    ) -> Any:
+    def irecv(self, source: int, tag: Hashable) -> Request:
         self._check_peer(source)
+        return Request(
+            resolve=lambda timeout: self._pull(source, tag, timeout),
+            test=lambda: bool(self._stash[(source, tag)]),
+        )
+
+    def _pull(
+        self, source: int, tag: Hashable, timeout: float | None
+    ) -> Any:
+        """The blocking delivery engine behind every posted receive."""
+        if timeout is None:
+            timeout = DEFAULT_RECV_TIMEOUT
         stash = self._stash[(source, tag)]
         if stash:
             return stash.pop(0)

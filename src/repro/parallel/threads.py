@@ -13,7 +13,12 @@ from collections import defaultdict
 from collections.abc import Callable
 from typing import Any, Hashable
 
-from repro.parallel.api import Communicator, CommunicatorTimeout
+from repro.parallel.api import (
+    DEFAULT_RECV_TIMEOUT,
+    Communicator,
+    CommunicatorTimeout,
+    Request,
+)
 from repro.util.validation import check_integer
 
 
@@ -53,14 +58,27 @@ class ThreadCommunicator(Communicator):
         if peer == self._rank:
             raise ValueError("self-messaging is not part of the protocol")
 
-    def send(self, dest: int, tag: Hashable, payload: Any) -> None:
+    def isend(self, dest: int, tag: Hashable, payload: Any) -> Request:
+        # A queue.put into the per-channel mailbox is the whole transfer:
+        # the send is buffered and completes eagerly.
         self._check_peer(dest)
         self._world.channels[(self._rank, dest)].put((tag, payload))
+        return Request.completed()
 
-    def recv(self, source: int, tag: Hashable, timeout: float | None = 60.0) -> Any:
+    def irecv(self, source: int, tag: Hashable) -> Request:
         self._check_peer(source)
-        key = (source, tag)
-        stash = self._stash[key]
+        return Request(
+            resolve=lambda timeout: self._pull(source, tag, timeout),
+            test=lambda: bool(self._stash[(source, tag)]),
+        )
+
+    def _pull(
+        self, source: int, tag: Hashable, timeout: float | None
+    ) -> Any:
+        """The blocking delivery engine behind every posted receive."""
+        if timeout is None:
+            timeout = DEFAULT_RECV_TIMEOUT
+        stash = self._stash[(source, tag)]
         if stash:
             return stash.pop(0)
         chan = self._world.channels[(source, self._rank)]

@@ -97,9 +97,10 @@ class Scenario(abc.ABC):
         ensemble.
     x_invariant:
         True when both the solid mask and the force field are constant
-        along the (periodic) flow axis.  Only x-invariant scenarios can
-        run on the parallel slab driver, whose wall pattern is one
-        shared cross-section.
+        along the (periodic) flow axis.  A memory optimization hint for
+        the parallel driver: x-invariant scenarios are stored as one
+        shared cross-section, x-varying ones are sliced per subdomain
+        rectangle.  Every scenario runs under every decomposition.
     """
 
     name: ClassVar[str] = ""

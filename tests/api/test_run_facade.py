@@ -203,6 +203,7 @@ class TestEnvOverlay:
             trace=env.trace,
             backend=env.backend,
             ckpt_keep=env.ckpt_keep,
+            decomp=env.decomp,
         )
 
 

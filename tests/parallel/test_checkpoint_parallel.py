@@ -76,7 +76,8 @@ class TestPeriodicParallelCheckpoints:
         cfg = config()
         store = CheckpointStore(tmp_path / "ckpt", keep_last=0)
         run_parallel_lbm(
-            3, cfg, 12, checkpoint_every=12, checkpoint_store=store, **REMAP
+            3, cfg, 12, checkpoint_every=12, checkpoint_store=store,
+            decomp="slab", **REMAP  # shard bookkeeping asserted per plane
         )
         manifest = store.latest_good()
         shards = manifest.shards_in_x_order()
@@ -267,7 +268,8 @@ class TestCollectiveRejection:
 
 class TestOwnershipMap:
     def test_results_carry_a_tiling_ownership_map(self):
-        results = run_parallel_lbm(3, config(), 12, **REMAP)
+        # The walk below checks the 1-D x-axis tiling contract.
+        results = run_parallel_lbm(3, config(), 12, decomp="slab", **REMAP)
         ordered = sorted(results, key=lambda r: r.plane_start)
         expect = 0
         for r in ordered:
@@ -279,7 +281,8 @@ class TestOwnershipMap:
     def test_assemble_rejects_a_broken_ownership_map(self):
         import dataclasses
 
-        results = run_parallel_lbm(2, config(), 4)
+        # The mutation below breaks the 1-D plane tiling specifically.
+        results = run_parallel_lbm(2, config(), 4, decomp="slab")
         broken = [
             dataclasses.replace(results[0], plane_start=3),
             results[1],

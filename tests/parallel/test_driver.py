@@ -106,6 +106,7 @@ class TestMigrationBehaviour:
             policy="filtered",
             remap_config=RemappingConfig(interval=5, history=5),
             load_time_fn=slow_rank_load_fn(1),
+            decomp="slab",  # evacuation is asserted in whole planes
         )
         by_rank = sorted(results, key=lambda r: r.rank)
         assert by_rank[1].plane_count == 1
@@ -120,6 +121,7 @@ class TestMigrationBehaviour:
             policy="filtered",
             remap_config=RemappingConfig(interval=5, history=5),
             load_time_fn=slow_rank_load_fn(2),
+            decomp="slab",  # every plane owned once across the ring
         )
         assert sum(r.plane_count for r in results) == 20
 
@@ -188,8 +190,10 @@ class TestDriverValidation:
 
     def test_more_ranks_than_planes(self):
         cfg = small_config(nx=3)
+        # A 2-D grid could legally place 5 ranks on 3 planes (1x5), so
+        # pin the slab: this test is about the 1-D plane-count limit.
         with pytest.raises(ValueError, match="more ranks"):
-            run_parallel_lbm(5, cfg, 2)
+            run_parallel_lbm(5, cfg, 2, decomp="slab")
 
     def test_history_reported(self):
         cfg = small_config()
@@ -200,6 +204,7 @@ class TestDriverValidation:
             policy="filtered",
             remap_config=RemappingConfig(interval=10, history=5),
             load_time_fn=lambda r, p, n: n * 1e-6,
+            decomp="slab",  # history entries below count slab planes
         )
         for r in results:
             assert len(r.comp_times) == 20

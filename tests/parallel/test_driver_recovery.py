@@ -49,6 +49,7 @@ class TestRecovery:
                 interval=5, history=5, fast_to_slow_tolerance=0.1
             ),
             load_time_fn=load_fn,
+            decomp="slab",  # the assertions track plane-band movement
         )
         by_rank = sorted(results, key=lambda r: r.rank)
         history = by_rank[1].plane_history
@@ -100,6 +101,7 @@ class TestRecovery:
                 interval=5, history=5, fast_to_slow_tolerance=0.1
             ),
             load_time_fn=load_fn,
+            decomp="slab",  # plane conservation is asserted per band
         )
         assert sum(r.plane_count for r in results) == 24
         assert np.array_equal(assemble_global_f(results), seq.f)
@@ -119,6 +121,7 @@ class TestRecovery:
             policy="conservative",
             remap_config=RemappingConfig(interval=5, history=5),
             load_time_fn=load_fn,
+            decomp="slab",  # the shed-load bound below counts planes
         )
         assert np.array_equal(assemble_global_f(results), seq.f)
         by_rank = sorted(results, key=lambda r: r.rank)

@@ -1,5 +1,5 @@
 """Patterned stripes: the duty=1 bitwise collapse to the homogeneous
-wall, stripe geometry, parallel-driver refusal, and validation."""
+wall, stripe geometry, parallel-driver equivalence, and validation."""
 
 import dataclasses
 
@@ -84,16 +84,21 @@ def test_streamwise_walls_are_rejected():
         ChannelGeometry(shape=(12, 14), wall_axes=(0,))
 
 
-def test_parallel_driver_refuses_cleanly():
-    spec = RunSpec(
-        config=config(PatternedScenario(amplitude_hi=0.06, duty=0.5)),
-        ranks=2,
-        phases=4,
-    )
-    with pytest.raises(ValueError, match="flow axis"):
-        run(spec)
-    with pytest.raises(ValueError, match="flow axis"):
-        execute_parallel(spec)
+@pytest.mark.parametrize("decomp,ranks", [("auto", 3), ((2, 2), None)])
+def test_parallel_driver_matches_sequential_bitwise(decomp, ranks):
+    # The x-varying pattern is sliced per subdomain rectangle, so the
+    # scenario runs under every decomposition, bit-identical to the
+    # sequential solver.
+    cfg = config(PatternedScenario(amplitude_hi=0.06, duty=0.5))
+    seq = MulticomponentLBM(cfg)
+    seq.run(12)
+    kwargs = {"decomp": decomp}
+    if ranks is not None:
+        kwargs["ranks"] = ranks
+    result = run(RunSpec(config=cfg, phases=12, **kwargs))
+    assert np.array_equal(result.f, seq.f)
+    raw = execute_parallel(RunSpec(config=cfg, phases=12, **kwargs))
+    assert len(raw) == result.spec.ranks
 
 
 @pytest.mark.parametrize(

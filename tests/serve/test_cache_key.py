@@ -40,6 +40,8 @@ phase_targets = st.integers(min_value=1, max_value=64)
 execution_knobs = st.fixed_dictionaries(
     {
         "ranks": st.integers(1, 4),
+        "decomp": st.sampled_from(["auto", "slab", "grid"]),
+        "halo_overlap": st.booleans(),
         "transport": st.sampled_from([None, "threads", "processes"]),
         "backend": st.sampled_from([None, "reference", "fused", "arrayapi"]),
         "policy": st.sampled_from(
@@ -125,6 +127,22 @@ def test_execution_knobs_never_change_the_key(amplitude, phases, knobs):
     dressed = RunSpec(config=cfg, phases=phases, **knobs)
     assert spec_fingerprint(dressed) == spec_fingerprint(plain)
     assert dressed.fingerprint() == plain.fingerprint()
+
+
+@settings(deadline=None)
+@given(
+    amplitude=amplitudes,
+    phases=phase_targets,
+    grid=st.sampled_from([(2, 1), (1, 3), (2, 2), (4, 1)]),
+)
+def test_explicit_decomp_grid_never_changes_the_key(amplitude, phases, grid):
+    # An explicit (rows, cols) grid — including its derived rank count —
+    # is pure execution layout; the cached result is decomposition-blind.
+    cfg = _with_amplitude(BASE, amplitude)
+    plain = RunSpec(config=cfg, phases=phases)
+    gridded = RunSpec(config=cfg, phases=phases, decomp=grid)
+    assert gridded.ranks == grid[0] * grid[1]
+    assert spec_fingerprint(gridded) == spec_fingerprint(plain)
 
 
 @settings(deadline=None)
